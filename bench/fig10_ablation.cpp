@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Regenerates paper Figure 10: execution-time reduction over naive
+ * UM for Prefetching, Prefetching+Preeviction, and
+ * Prefetching+Preeviction+Invalidate.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace deepum;
+using namespace deepum::bench;
+
+int
+main()
+{
+    auto base = defaultConfig();
+
+    harness::TextTable t({"model/batch", "UM s/100it", "Prefetch",
+                          "+Preevict", "+Invalidate"});
+    std::vector<double> g1, g2, g3;
+
+    for (const Cell &c : fig9Grid()) {
+        torch::Tape tape = models::buildModel(c.model, c.batch);
+        auto um =
+            harness::runExperiment(tape, harness::SystemKind::Um, base);
+
+        harness::ExperimentConfig pf = base;
+        pf.deepum.prefetch = true;
+        pf.deepum.preevict = false;
+        pf.deepum.invalidate = false;
+        auto r1 =
+            harness::runExperiment(tape, harness::SystemKind::DeepUm, pf);
+
+        harness::ExperimentConfig pe = pf;
+        pe.deepum.preevict = true;
+        auto r2 =
+            harness::runExperiment(tape, harness::SystemKind::DeepUm, pe);
+
+        harness::ExperimentConfig all = pe;
+        all.deepum.invalidate = true;
+        auto r3 = harness::runExperiment(
+            tape, harness::SystemKind::DeepUm, all);
+
+        auto reduction = [&](const harness::RunResult &r) {
+            return 100.0 * (1.0 - r.secPer100Iters /
+                                      um.secPer100Iters);
+        };
+        g1.push_back(r1.secPer100Iters / um.secPer100Iters);
+        g2.push_back(r2.secPer100Iters / um.secPer100Iters);
+        g3.push_back(r3.secPer100Iters / um.secPer100Iters);
+        t.row({cellLabel(c), harness::fmtDouble(um.secPer100Iters),
+               harness::fmtDouble(reduction(r1), 1) + "%",
+               harness::fmtDouble(reduction(r2), 1) + "%",
+               harness::fmtDouble(reduction(r3), 1) + "%"});
+    }
+    t.row({"mean reduction", "",
+           harness::fmtDouble(100.0 * (1.0 - harness::geomean(g1)), 1) +
+               "%",
+           harness::fmtDouble(100.0 * (1.0 - harness::geomean(g2)), 1) +
+               "%",
+           harness::fmtDouble(100.0 * (1.0 - harness::geomean(g3)), 1) +
+               "%"});
+
+    banner("Figure 10: execution-time reduction over naive UM");
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Regenerates paper Figure 11: sensitivity to the prefetch degree N
+ * — (a) speedup and (b) energy ratio, both relative to N=8.
+ *
+ * The paper sweeps N on a 32 GB GPU and finds a sweet spot at N=32;
+ * at this simulator's 1/128 memory scale the prefetchable window
+ * shrinks proportionally and the same inverted-U appears around
+ * N=4..8 (see DESIGN.md section 5).
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace deepum;
+using namespace deepum::bench;
+
+int
+main()
+{
+    const std::uint32_t kDegrees[] = {1, 2, 4, 8, 16, 32};
+    const std::uint32_t kBase = 8;
+
+    auto headers = std::vector<std::string>{"model/batch"};
+    for (auto n : kDegrees)
+        headers.push_back("N=" + std::to_string(n));
+
+    harness::TextTable speed(headers);
+    harness::TextTable energy(headers);
+
+    for (const Cell &c : sweepGrid()) {
+        torch::Tape tape = models::buildModel(c.model, c.batch);
+
+        double base_time = 0, base_energy = 0;
+        std::vector<double> times, energies;
+        for (auto n : kDegrees) {
+            harness::ExperimentConfig cfg = defaultConfig();
+            cfg.deepum.lookaheadN = n;
+            auto r = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, cfg);
+            times.push_back(r.secPer100Iters);
+            energies.push_back(r.energyJPerIter);
+            if (n == kBase) {
+                base_time = r.secPer100Iters;
+                base_energy = r.energyJPerIter;
+            }
+        }
+        std::vector<std::string> srow{cellLabel(c)}, erow{cellLabel(c)};
+        for (std::size_t i = 0; i < times.size(); ++i) {
+            srow.push_back(
+                harness::fmtSpeedup(base_time / times[i]));
+            erow.push_back(
+                harness::fmtDouble(energies[i] / base_energy));
+        }
+        speed.row(srow);
+        energy.row(erow);
+    }
+
+    banner("Figure 11(a): speedup over N=8 when varying the prefetch "
+           "degree");
+    speed.print(std::cout);
+    banner("Figure 11(b): energy ratio over N=8 (lower is better)");
+    energy.print(std::cout);
+    return 0;
+}

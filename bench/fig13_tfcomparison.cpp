@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Regenerates paper Figure 13: training-throughput speedup over
+ * naive UM for the TensorFlow-based approaches (vDNN, AutoTM,
+ * SwapAdvisor, Capuchin, Sentinel), DeepUM, and Ideal, on the
+ * 16 GB-class GPU.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace deepum;
+using namespace deepum::bench;
+
+int
+main()
+{
+    auto cfg = smallGpuConfig();
+    auto scfg = swapConfig(cfg);
+
+    const baselines::BaselineKind kTf[] = {
+        baselines::BaselineKind::Vdnn,
+        baselines::BaselineKind::AutoTm,
+        baselines::BaselineKind::SwapAdvisor,
+        baselines::BaselineKind::Capuchin,
+        baselines::BaselineKind::Sentinel,
+    };
+
+    std::vector<std::string> headers{"model/batch"};
+    for (auto k : kTf)
+        headers.push_back(baselines::baselineName(k));
+    headers.push_back("DeepUM");
+    headers.push_back("Ideal");
+    harness::TextTable t(headers);
+
+    for (const Cell &c : fig13Grid()) {
+        torch::Tape tape = models::buildModel(c.model, c.batch);
+        auto um =
+            harness::runExperiment(tape, harness::SystemKind::Um, cfg);
+        std::vector<std::string> row{cellLabel(c)};
+        for (auto k : kTf) {
+            auto r = baselines::runBaseline(k, tape, scfg);
+            row.push_back(r.ok
+                              ? harness::fmtSpeedup(
+                                    um.secPer100Iters /
+                                    r.secPer100Iters)
+                              : std::string("not work"));
+        }
+        auto dum = harness::runExperiment(
+            tape, harness::SystemKind::DeepUm, cfg);
+        auto ideal = harness::runExperiment(
+            tape, harness::SystemKind::Ideal, cfg);
+        row.push_back(harness::fmtSpeedup(um.secPer100Iters /
+                                          dum.secPer100Iters));
+        row.push_back(harness::fmtSpeedup(um.secPer100Iters /
+                                          ideal.secPer100Iters));
+        t.row(row);
+    }
+
+    banner("Figure 13: speedup over naive UM on the 16 GB-class GPU "
+           "(128 MiB at scale)");
+    t.print(std::cout);
+    return 0;
+}

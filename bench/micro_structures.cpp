@@ -1,0 +1,98 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the hot data structures on the
+ * fault path: correlation-table record/lookup, execution ID hashing,
+ * the SPSC queues, and driver residency checks — the operations the
+ * paper argues are cheap enough to hide in fault handling.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "core/block_correlation_table.hh"
+#include "core/exec_correlation_table.hh"
+#include "core/execution_id_table.hh"
+#include "sim/rng.hh"
+#include "sim/spsc_queue.hh"
+
+using namespace deepum;
+using namespace deepum::core;
+
+namespace {
+
+void
+BM_BlockTableRecord(benchmark::State &state)
+{
+    BlockTableConfig cfg;
+    cfg.numRows = static_cast<std::uint32_t>(state.range(0));
+    BlockCorrelationTable t(cfg);
+    sim::Rng rng(1);
+    for (auto _ : state) {
+        mem::BlockId a = rng.below(4096), b = rng.below(4096);
+        t.record(a, b);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockTableRecord)->Arg(128)->Arg(2048)->Arg(4096);
+
+void
+BM_BlockTableLookup(benchmark::State &state)
+{
+    BlockTableConfig cfg;
+    cfg.numRows = static_cast<std::uint32_t>(state.range(0));
+    BlockCorrelationTable t(cfg);
+    sim::Rng fill(2);
+    for (int i = 0; i < 4096; ++i)
+        t.record(fill.below(4096), fill.below(4096));
+    sim::Rng rng(3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.successors(rng.below(4096)));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockTableLookup)->Arg(128)->Arg(2048);
+
+void
+BM_ExecTablePredict(benchmark::State &state)
+{
+    ExecCorrelationTable t;
+    for (ExecId i = 0; i < 512; ++i)
+        t.record(i, ExecHistory{i, i + 1, i + 2}, i + 3);
+    sim::Rng rng(4);
+    for (auto _ : state) {
+        ExecId c = static_cast<ExecId>(rng.below(512));
+        benchmark::DoNotOptimize(
+            t.predict(c, ExecHistory{c, c + 1, c + 2}));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecTablePredict);
+
+void
+BM_ExecutionIdHash(benchmark::State &state)
+{
+    gpu::KernelInfo k;
+    k.name = "volta_sgemm_128x64_tn";
+    k.argHash = 0x1234abcd;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(ExecutionIdTable::hashKernel(k));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ExecutionIdHash);
+
+void
+BM_SpscQueueRoundTrip(benchmark::State &state)
+{
+    sim::SpscQueue<std::uint64_t> q(1024);
+    std::uint64_t v = 0;
+    for (auto _ : state) {
+        q.push(v);
+        std::uint64_t out;
+        q.pop(out);
+        benchmark::DoNotOptimize(out);
+        ++v;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpscQueueRoundTrip);
+
+} // namespace

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates paper Table 4: memory used by the correlation tables
+ * (CPU-side) per model and batch size.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace deepum;
+using namespace deepum::bench;
+
+int
+main()
+{
+    auto cfg = defaultConfig();
+
+    harness::TextTable t(
+        {"model/batch", "execution IDs", "table size"});
+    for (const Cell &c : fig9Grid()) {
+        torch::Tape tape = models::buildModel(c.model, c.batch);
+        auto dum = harness::runExperiment(
+            tape, harness::SystemKind::DeepUm, cfg);
+        if (!dum.ok) {
+            t.row({cellLabel(c), "OOM", "-"});
+            continue;
+        }
+        // Every launch site has a distinct argument hash, so the
+        // execution ID count equals the kernels per iteration.
+        t.row({cellLabel(c),
+               std::to_string(tape.launchesPerIteration()),
+               harness::fmtMiB(dum.tableBytes)});
+    }
+
+    banner("Table 4: correlation table size (one block table per "
+           "execution ID, allocated lazily)");
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Regenerates paper Table 5: average number of page faults per
+ * training iteration under naive UM and DeepUM, with the ratio.
+ */
+
+#include <iostream>
+
+#include "bench/common.hh"
+
+using namespace deepum;
+using namespace deepum::bench;
+
+int
+main()
+{
+    auto cfg = defaultConfig();
+
+    harness::TextTable t({"model/batch", "fault count of UM",
+                          "fault count of DeepUM", "ratio"});
+    for (const Cell &c : fig9Grid()) {
+        torch::Tape tape = models::buildModel(c.model, c.batch);
+        auto um =
+            harness::runExperiment(tape, harness::SystemKind::Um, cfg);
+        auto dum = harness::runExperiment(
+            tape, harness::SystemKind::DeepUm, cfg);
+        std::string ratio_str;
+        if (um.pageFaultsPerIter <= 0) {
+            ratio_str = "-"; // no oversubscription: nothing to reduce
+        } else {
+            double ratio =
+                dum.pageFaultsPerIter / um.pageFaultsPerIter;
+            ratio_str = ratio < 0.001
+                            ? "< 0.1%"
+                            : harness::fmtDouble(100.0 * ratio, 1) +
+                                  "%";
+        }
+        t.row({cellLabel(c),
+               harness::fmtDouble(um.pageFaultsPerIter, 0),
+               harness::fmtDouble(dum.pageFaultsPerIter, 0),
+               ratio_str});
+    }
+
+    banner("Table 5: average page faults per training iteration");
+    t.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * simctl — command-line front end for the simulator.
+ *
+ * Run any registered model under any memory system with any
+ * configuration, and optionally dump the full statistics registry —
+ * the tool a downstream user reaches for before scripting the C++
+ * API directly.
+ *
+ * Usage:
+ *   simctl --model gpt2-xl --batch 5 --system deepum \
+ *          [--gpu-mib 256] [--host-mib 4096] [--iters 18 --warmup 8]
+ *          [--lookahead 8] [--rows 2048 --assoc 2 --succs 4]
+ *          [--no-prefetch] [--no-preevict] [--no-invalidate]
+ *          [--seed 12345] [--dump-stats]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "models/registry.hh"
+#include "sim/logging.hh"
+
+using namespace deepum;
+
+namespace {
+
+[[noreturn]] void
+usage()
+{
+    std::fprintf(
+        stderr,
+        "usage: simctl --model <name> [--batch N] [--system "
+        "um|deepum|ocdnn|ideal]\n"
+        "              [--gpu-mib N] [--host-mib N] [--iters N] "
+        "[--warmup N]\n"
+        "              [--lookahead N] [--rows N] [--assoc N] "
+        "[--succs N]\n"
+        "              [--no-prefetch] [--no-preevict] "
+        "[--no-invalidate]\n"
+        "              [--seed N] [--dump-stats] [--list-models]\n");
+    std::exit(2);
+}
+
+std::uint64_t
+numArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc)
+        usage();
+    return std::strtoull(argv[++i], nullptr, 10);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string model = "bert-base";
+    std::uint64_t batch = 30;
+    std::string system = "deepum";
+    bool dump_stats = false;
+    harness::ExperimentConfig cfg;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--model" && i + 1 < argc) {
+            model = argv[++i];
+        } else if (a == "--batch") {
+            batch = numArg(argc, argv, i);
+        } else if (a == "--system" && i + 1 < argc) {
+            system = argv[++i];
+        } else if (a == "--gpu-mib") {
+            cfg.gpuMemBytes = numArg(argc, argv, i) * sim::kMiB;
+        } else if (a == "--host-mib") {
+            cfg.hostMemBytes = numArg(argc, argv, i) * sim::kMiB;
+        } else if (a == "--iters") {
+            cfg.iterations =
+                static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (a == "--warmup") {
+            cfg.warmup =
+                static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (a == "--lookahead") {
+            cfg.deepum.lookaheadN =
+                static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (a == "--rows") {
+            cfg.deepum.table.numRows =
+                static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (a == "--assoc") {
+            cfg.deepum.table.assoc =
+                static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (a == "--succs") {
+            cfg.deepum.table.numSuccs =
+                static_cast<std::uint32_t>(numArg(argc, argv, i));
+        } else if (a == "--no-prefetch") {
+            cfg.deepum.prefetch = false;
+        } else if (a == "--no-preevict") {
+            cfg.deepum.preevict = false;
+        } else if (a == "--no-invalidate") {
+            cfg.deepum.invalidate = false;
+        } else if (a == "--seed") {
+            cfg.seed = numArg(argc, argv, i);
+        } else if (a == "--dump-stats") {
+            dump_stats = true;
+        } else if (a == "--list-models") {
+            for (const auto &m : models::modelNames())
+                std::printf("%s\n", m.c_str());
+            return 0;
+        } else {
+            usage();
+        }
+    }
+
+    harness::SystemKind kind;
+    if (system == "um")
+        kind = harness::SystemKind::Um;
+    else if (system == "deepum")
+        kind = harness::SystemKind::DeepUm;
+    else if (system == "ocdnn")
+        kind = harness::SystemKind::OcDnn;
+    else if (system == "ideal")
+        kind = harness::SystemKind::Ideal;
+    else
+        usage();
+
+    if (!models::haveModel(model))
+        sim::fatal("unknown model %s (try --list-models)",
+                   model.c_str());
+    if (cfg.warmup >= cfg.iterations)
+        sim::fatal("--warmup must be smaller than --iters");
+
+    torch::Tape tape = models::buildModel(model, batch);
+    std::printf("%s batch=%llu system=%s footprint=%s gpu=%s\n",
+                model.c_str(),
+                static_cast<unsigned long long>(batch),
+                harness::systemName(kind),
+                harness::fmtMiB(tape.footprintBytes()).c_str(),
+                harness::fmtMiB(cfg.gpuMemBytes).c_str());
+
+    harness::RunResult r = harness::runExperiment(tape, kind, cfg);
+    if (!r.ok) {
+        std::printf("result: OUT OF MEMORY\n");
+        return 1;
+    }
+    std::printf("result: %.2f s/100iter, %.0f faults/iter, "
+                "%.1f MiB HtoD/iter, %.1f MiB DtoH/iter, "
+                "%.1f J/iter",
+                r.secPer100Iters, r.pageFaultsPerIter,
+                static_cast<double>(r.bytesHtoDPerIter) / 1048576.0,
+                static_cast<double>(r.bytesDtoHPerIter) / 1048576.0,
+                r.energyJPerIter);
+    if (r.tableBytes > 0)
+        std::printf(", tables %s",
+                    harness::fmtMiB(r.tableBytes).c_str());
+    std::printf("\n");
+
+    if (dump_stats) {
+        std::printf("\n# full counter dump\n");
+        for (const auto &[name, v] : r.stats)
+            std::printf("%-44s %llu\n", name.c_str(),
+                        static_cast<unsigned long long>(v));
+    }
+    return 0;
+}

@@ -1,0 +1,51 @@
+#include "baselines/capuchin.hh"
+
+#include <algorithm>
+
+namespace deepum::baselines {
+
+void
+CapuchinPolicy::plan(const PlanContext &ctx)
+{
+    const auto &tensors = ctx.tape.tensors;
+    recomputeCost_.assign(tensors.size(), 0);
+
+    for (std::size_t t = 0; t < tensors.size(); ++t) {
+        if (tensors[t].kind != torch::TensorKind::Activation)
+            continue;
+        auto id = static_cast<torch::TensorId>(t);
+        std::uint64_t first = ctx.oracle.firstUse(id);
+        if (first == kNeverUsed)
+            continue;
+        // Producer cost: the op that first touches (writes) it.
+        sim::Tick producer = ctx.oracle.computeOf(
+            static_cast<std::size_t>(first));
+        sim::Tick swap_rt =
+            2 * (ctx.timing.pcieLatency +
+                 ctx.timing.copyTicks(tensors[t].bytes));
+        if (producer < swap_rt)
+            recomputeCost_[t] = std::max<sim::Tick>(producer, 1);
+    }
+}
+
+bool
+CapuchinPolicy::dropOnEvict(torch::TensorId t) const
+{
+    return recomputeCost_[t] != 0;
+}
+
+sim::Tick
+CapuchinPolicy::reloadComputeCost(torch::TensorId t) const
+{
+    return recomputeCost_[t];
+}
+
+std::size_t
+CapuchinPolicy::recomputeCount() const
+{
+    return static_cast<std::size_t>(
+        std::count_if(recomputeCost_.begin(), recomputeCost_.end(),
+                      [](sim::Tick c) { return c != 0; }));
+}
+
+} // namespace deepum::baselines

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Capuchin policy (Peng et al., ASPLOS'20).
+ *
+ * Capuchin profiles tensor access patterns at run time and chooses,
+ * per tensor, between *swapping* and *recomputation* by comparing
+ * the PCIe round-trip cost against the cost of regenerating the
+ * tensor from its producer op. We implement exactly that
+ * cost-benefit rule over the measured (oracle) access pattern:
+ * activations whose producer is cheaper to re-run than two transfers
+ * are dropped on eviction and recomputed on reload.
+ */
+
+#pragma once
+
+#include <vector>
+
+#include "baselines/policy.hh"
+
+namespace deepum::baselines {
+
+/** Capuchin: swap vs. recompute by measured cost-benefit. */
+class CapuchinPolicy : public SwapPolicy
+{
+  public:
+    const char *name() const override { return "Capuchin"; }
+
+    void plan(const PlanContext &ctx) override;
+
+    std::uint32_t prefetchDistance() const override { return 6; }
+    double gpuUsableFraction() const override { return 0.90; }
+    double hostUsableFraction() const override { return 0.84; }
+
+    bool dropOnEvict(torch::TensorId t) const override;
+    sim::Tick reloadComputeCost(torch::TensorId t) const override;
+
+    /** Tensors chosen for recomputation (tests). */
+    std::size_t recomputeCount() const;
+
+  private:
+    std::vector<sim::Tick> recomputeCost_; ///< 0 = swap instead
+};
+
+} // namespace deepum::baselines

@@ -1,0 +1,20 @@
+#include "baselines/policy.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::baselines {
+
+std::size_t
+SwapPolicy::pickVictim(const std::vector<VictimInfo> &candidates) const
+{
+    DEEPUM_ASSERT(!candidates.empty(), "pickVictim with no candidates");
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < candidates.size(); ++i) {
+        if (candidates[i].nextUseDistance >
+            candidates[best].nextUseDistance)
+            best = i;
+    }
+    return best;
+}
+
+} // namespace deepum::baselines

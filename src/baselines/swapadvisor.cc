@@ -1,0 +1,132 @@
+#include "baselines/swapadvisor.hh"
+
+#include <algorithm>
+
+#include "baselines/swap_executor.hh"
+#include "sim/rng.hh"
+
+namespace deepum::baselines {
+
+namespace {
+
+/** Fixed policy used to evaluate one genome's fitness. */
+class GenomePolicy : public SwapPolicy
+{
+  public:
+    GenomePolicy(const std::vector<bool> &offload, std::uint32_t dist)
+        : offload_(offload), dist_(dist)
+    {
+    }
+
+    const char *name() const override { return "SwapAdvisor-eval"; }
+
+    bool
+    offloadable(torch::TensorId t) const override
+    {
+        return offload_[t];
+    }
+
+    std::uint32_t prefetchDistance() const override { return dist_; }
+    double gpuUsableFraction() const override { return 0.86; }
+    double hostUsableFraction() const override { return 0.84; }
+
+  private:
+    const std::vector<bool> &offload_;
+    std::uint32_t dist_;
+};
+
+constexpr std::uint32_t kPop = 14;
+constexpr std::uint32_t kGens = 8;
+constexpr std::uint32_t kDistChoices[] = {1, 2, 4, 6, 8, 12};
+
+} // namespace
+
+SwapAdvisorPolicy::SwapAdvisorPolicy(std::uint64_t seed) : seed_(seed) {}
+
+void
+SwapAdvisorPolicy::plan(const PlanContext &ctx)
+{
+    sim::Rng rng(seed_);
+    std::size_t n = ctx.tape.tensors.size();
+
+    SwapConfig eval_cfg;
+    eval_cfg.capacityBytes = ctx.capacityBytes;
+    eval_cfg.hostBytes = ctx.hostBytes;
+    eval_cfg.timing = ctx.timing;
+    eval_cfg.iterations = 3;
+    eval_cfg.warmup = 1;
+
+    auto fitness = [&](const Genome &g) -> double {
+        GenomePolicy p(g.offload, g.dist);
+        SwapResult r = runSwapBaseline(ctx.tape, p, eval_cfg);
+        if (!r.ok)
+            return 1e30; // infeasible genome
+        return static_cast<double>(r.ticksPerIter);
+    };
+
+    // Seed population: everything-offloadable plus random masks.
+    std::vector<Genome> pop(kPop);
+    std::vector<double> fit(kPop);
+    for (std::uint32_t i = 0; i < kPop; ++i) {
+        pop[i].offload.assign(n, true);
+        if (i > 0) {
+            for (std::size_t t = 0; t < n; ++t)
+                pop[i].offload[t] = rng.below(100) < 75;
+        }
+        pop[i].dist = kDistChoices[rng.below(std::size(kDistChoices))];
+        fit[i] = fitness(pop[i]);
+    }
+
+    auto tournament = [&]() -> std::size_t {
+        std::size_t a = rng.below(kPop), b = rng.below(kPop);
+        return fit[a] <= fit[b] ? a : b;
+    };
+
+    for (std::uint32_t gen = 0; gen < kGens; ++gen) {
+        ++generations_;
+        std::vector<Genome> next(kPop);
+        std::vector<double> next_fit(kPop);
+
+        // Elitism: keep the best genome.
+        std::size_t best = static_cast<std::size_t>(
+            std::min_element(fit.begin(), fit.end()) - fit.begin());
+        next[0] = pop[best];
+        next_fit[0] = fit[best];
+
+        for (std::uint32_t i = 1; i < kPop; ++i) {
+            const Genome &pa = pop[tournament()];
+            const Genome &pb = pop[tournament()];
+            Genome child;
+            child.offload.resize(n);
+            std::size_t cut = n == 0 ? 0 : rng.below(n + 1);
+            for (std::size_t t = 0; t < n; ++t)
+                child.offload[t] =
+                    t < cut ? pa.offload[t] : pb.offload[t];
+            child.dist = rng.below(2) ? pa.dist : pb.dist;
+            // Mutation.
+            for (std::size_t t = 0; t < n; ++t)
+                if (rng.below(100) < 2)
+                    child.offload[t] = !child.offload[t];
+            if (rng.below(100) < 20)
+                child.dist =
+                    kDistChoices[rng.below(std::size(kDistChoices))];
+            next[i] = std::move(child);
+            next_fit[i] = fitness(next[i]);
+        }
+        pop = std::move(next);
+        fit = std::move(next_fit);
+    }
+
+    std::size_t best = static_cast<std::size_t>(
+        std::min_element(fit.begin(), fit.end()) - fit.begin());
+    offload_ = pop[best].offload;
+    dist_ = pop[best].dist;
+}
+
+bool
+SwapAdvisorPolicy::offloadable(torch::TensorId t) const
+{
+    return offload_.empty() ? true : offload_[t];
+}
+
+} // namespace deepum::baselines

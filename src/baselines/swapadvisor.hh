@@ -1,0 +1,54 @@
+/**
+ * @file
+ * SwapAdvisor policy (Huang et al., ASPLOS'20).
+ *
+ * SwapAdvisor searches the joint space of swap decisions with a
+ * genetic algorithm whose fitness function is a dataflow simulator.
+ * We reproduce that structure: genomes encode a per-tensor offload
+ * mask plus a prefetch distance; fitness is a short run of the same
+ * SwapExecutor used for the final measurement; tournament selection,
+ * single-point crossover, bit-flip mutation.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/policy.hh"
+
+namespace deepum::baselines {
+
+/** SwapAdvisor: GA-searched swap plan. */
+class SwapAdvisorPolicy : public SwapPolicy
+{
+  public:
+    /** @param seed GA seed (deterministic search) */
+    explicit SwapAdvisorPolicy(std::uint64_t seed = 0x5eed);
+
+    const char *name() const override { return "SwapAdvisor"; }
+
+    void plan(const PlanContext &ctx) override;
+
+    bool offloadable(torch::TensorId t) const override;
+
+    std::uint32_t prefetchDistance() const override { return dist_; }
+    double gpuUsableFraction() const override { return 0.86; }
+    double hostUsableFraction() const override { return 0.80; }
+
+    /** Generations actually evaluated (tests). */
+    std::uint32_t generationsRun() const { return generations_; }
+
+  private:
+    struct Genome {
+        std::vector<bool> offload;
+        std::uint32_t dist = 4;
+    };
+
+    std::uint64_t seed_;
+    std::vector<bool> offload_;
+    std::uint32_t dist_ = 4;
+    std::uint32_t generations_ = 0;
+};
+
+} // namespace deepum::baselines

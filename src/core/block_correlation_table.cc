@@ -1,0 +1,215 @@
+#include "core/block_correlation_table.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace deepum::core {
+
+namespace {
+
+/** SplitMix64-style avalanche so adjacent blocks spread over sets. */
+std::uint64_t
+mix(std::uint64_t z)
+{
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+}
+
+const std::vector<mem::BlockId> kEmptySuccs;
+
+} // namespace
+
+BlockCorrelationTable::BlockCorrelationTable(const BlockTableConfig &cfg)
+    : cfg_(cfg)
+{
+    DEEPUM_ASSERT(cfg_.numRows > 0 && cfg_.assoc > 0 && cfg_.numSuccs > 0,
+                  "degenerate block-table geometry");
+    entries_.resize(std::size_t(cfg_.numRows) * cfg_.assoc);
+    for (auto &e : entries_)
+        e.succs.reserve(cfg_.numSuccs);
+}
+
+std::size_t
+BlockCorrelationTable::setIndex(mem::BlockId b) const
+{
+    return static_cast<std::size_t>(mix(b) % cfg_.numRows);
+}
+
+BlockCorrelationTable::Entry *
+BlockCorrelationTable::find(mem::BlockId b)
+{
+    Entry *base = &entries_[setIndex(b) * cfg_.assoc];
+    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+        if (base[w].tag == b)
+            return &base[w];
+    }
+    return nullptr;
+}
+
+const BlockCorrelationTable::Entry *
+BlockCorrelationTable::find(mem::BlockId b) const
+{
+    return const_cast<BlockCorrelationTable *>(this)->find(b);
+}
+
+void
+BlockCorrelationTable::record(mem::BlockId prev, mem::BlockId next)
+{
+    Entry *e = find(prev);
+    if (e == nullptr) {
+        // Allocate a way: first invalid, otherwise LRU replacement.
+        Entry *base = &entries_[setIndex(prev) * cfg_.assoc];
+        Entry *victim = &base[0];
+        for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
+            if (base[w].tag == uvm::kNoBlock) {
+                victim = &base[w];
+                break;
+            }
+            if (base[w].lastUse < victim->lastUse)
+                victim = &base[w];
+        }
+        victim->tag = prev;
+        victim->succs.clear();
+        e = victim;
+    }
+    e->lastUse = ++useClock_;
+    e->lastEpoch = epoch_;
+
+    auto it = std::find(e->succs.begin(), e->succs.end(), next);
+    if (it != e->succs.end()) {
+        // Refresh to MRU position.
+        std::rotate(e->succs.begin(), it, it + 1);
+        return;
+    }
+    e->succs.insert(e->succs.begin(), next);
+    if (e->succs.size() > cfg_.numSuccs)
+        e->succs.pop_back();
+}
+
+void
+BlockCorrelationTable::captureStartEnd(mem::BlockId start,
+                                       mem::BlockId end,
+                                       std::uint32_t len)
+{
+    ++epoch_;
+    constexpr std::uint32_t kMaxStaleRejects = 4;
+    if (2 * len >= bestLen_) {
+        start_ = start;
+        end_ = end;
+        if (len > bestLen_)
+            bestLen_ = len;
+        staleRejects_ = 0;
+        return;
+    }
+    if (++staleRejects_ > kMaxStaleRejects) {
+        // The pattern really did shrink; adopt it.
+        start_ = start;
+        end_ = end;
+        bestLen_ = len;
+        staleRejects_ = 0;
+    }
+}
+
+const std::vector<mem::BlockId> &
+BlockCorrelationTable::successors(mem::BlockId b) const
+{
+    const Entry *e = find(b);
+    return e == nullptr ? kEmptySuccs : e->succs;
+}
+
+std::vector<mem::BlockId>
+BlockCorrelationTable::freshTags(std::uint32_t window) const
+{
+    std::vector<mem::BlockId> tags;
+    for (const auto &e : entries_) {
+        if (e.tag == uvm::kNoBlock)
+            continue;
+        if (e.lastEpoch + window >= epoch_)
+            tags.push_back(e.tag);
+    }
+    return tags;
+}
+
+void
+BlockCorrelationTable::refresh(mem::BlockId b)
+{
+    Entry *e = find(b);
+    if (e != nullptr) {
+        e->lastUse = ++useClock_;
+        e->lastEpoch = epoch_;
+    }
+}
+
+void
+BlockCorrelationTable::erase(mem::BlockId b)
+{
+    Entry *e = find(b);
+    if (e != nullptr) {
+        e->tag = uvm::kNoBlock;
+        e->succs.clear();
+        e->lastUse = 0;
+        e->lastEpoch = 0;
+    }
+}
+
+std::size_t
+BlockCorrelationTable::entryCount() const
+{
+    std::size_t n = 0;
+    for (const auto &e : entries_)
+        if (e.tag != uvm::kNoBlock)
+            ++n;
+    return n;
+}
+
+std::uint64_t
+BlockCorrelationTable::sizeBytes() const
+{
+    // tag + lastUse + numSuccs successor slots per way, plus the
+    // start/end pointers. Tables are allocated at full geometry.
+    std::uint64_t per_entry =
+        sizeof(mem::BlockId) + sizeof(std::uint64_t) +
+        std::uint64_t(cfg_.numSuccs) * sizeof(mem::BlockId);
+    return std::uint64_t(cfg_.numRows) * cfg_.assoc * per_entry +
+           2 * sizeof(mem::BlockId);
+}
+
+BlockCorrelationTable &
+BlockTableMap::getOrCreate(ExecId id)
+{
+    auto it = tables_.find(id);
+    if (it == tables_.end()) {
+        it = tables_.emplace(
+                         id,
+                         std::make_unique<BlockCorrelationTable>(cfg_))
+                 .first;
+    }
+    return *it->second;
+}
+
+BlockCorrelationTable *
+BlockTableMap::find(ExecId id)
+{
+    auto it = tables_.find(id);
+    return it == tables_.end() ? nullptr : it->second.get();
+}
+
+const BlockCorrelationTable *
+BlockTableMap::find(ExecId id) const
+{
+    auto it = tables_.find(id);
+    return it == tables_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t
+BlockTableMap::totalSizeBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[id, t] : tables_)
+        bytes += t->sizeBytes();
+    return bytes;
+}
+
+} // namespace deepum::core

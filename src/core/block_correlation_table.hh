@@ -1,0 +1,165 @@
+/**
+ * @file
+ * UM block correlation tables (paper Section 4.2, Figure 7).
+ *
+ * One table per execution ID, allocated lazily when a kernel with a
+ * new ID first faults. Set-associative (NumRows x Assoc) with
+ * NumSuccs MRU-ordered successor blocks per entry, plus the `start`
+ * block (first fault after the kernel began) and `end` block (last
+ * fault before the next kernel), which the prefetcher uses to chain
+ * across kernels.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "core/config.hh"
+#include "core/execution_id_table.hh"
+#include "mem/addr.hh"
+#include "uvm/block_info.hh"
+
+namespace deepum::core {
+
+/** One execution ID's block-successor table. */
+class BlockCorrelationTable
+{
+  public:
+    explicit BlockCorrelationTable(const BlockTableConfig &cfg);
+
+    /**
+     * Record that a fault on @p next followed a fault on @p prev
+     * within this kernel. Allocates/replaces entries LRU within the
+     * mapped set; inserts @p next at MRU position of @p prev's
+     * successor list.
+     */
+    void record(mem::BlockId prev, mem::BlockId next);
+
+    /**
+     * Successors of @p b, MRU first. Empty when @p b has no entry.
+     * The returned reference is invalidated by the next record().
+     */
+    const std::vector<mem::BlockId> &successors(mem::BlockId b) const;
+
+    /** First faulted block of the kernel's executions. */
+    mem::BlockId start() const { return start_; }
+
+    /** Last faulted block before the kernel transitions. */
+    mem::BlockId end() const { return end_; }
+
+    /** Directly set the pointers (tests and captureStartEnd). */
+    void setStart(mem::BlockId b) { start_ = b; }
+    void setEnd(mem::BlockId b) { end_ = b; }
+
+    /**
+     * Capture the start/end blocks from one execution whose fault
+     * sequence had @p len blocks (paper: first/last faulted block
+     * around the execution ID transition).
+     *
+     * Re-capturing is necessary — the caching allocator's placement
+     * differs between the cold first iteration and the steady state,
+     * so the pointers must track current addresses. But committing
+     * unconditionally lets a single stray residual fault truncate
+     * the chain for the next iteration. Hysteresis resolves the
+     * tension: commit only sequences at least half as long as the
+     * best seen; after several consecutive rejections accept the new
+     * (genuinely shorter) pattern.
+     */
+    void captureStartEnd(mem::BlockId start, mem::BlockId end,
+                         std::uint32_t len);
+
+    /** Longest committed fault-sequence length (tests). */
+    std::uint32_t bestSequenceLen() const { return bestLen_; }
+
+    /**
+     * Tags of entries touched within the last @p window executions.
+     *
+     * A kernel's fault-learned graph can split into disconnected
+     * components (blocks that stop faulting because prefetching
+     * covers them stop being re-linked), so chaining from `start`
+     * alone oscillates between components. Issuing every *live*
+     * entry on kernel entry breaks the oscillation; refresh() keeps
+     * successfully-prefetched entries live.
+     */
+    std::vector<mem::BlockId> freshTags(std::uint32_t window) const;
+
+    /** Mark @p b's entry as used this epoch (chain visit). */
+    void refresh(mem::BlockId b);
+
+    /**
+     * Drop @p b's entry. Called when a prefetch predicted from this
+     * table was evicted untouched: its kernel ran without the block,
+     * so the entry is stale (a leftover from an earlier allocator
+     * placement) and must stop feeding the chain.
+     */
+    void erase(mem::BlockId b);
+
+    /** Executions (with faults) this table has seen. */
+    std::uint32_t epoch() const { return epoch_; }
+
+    /** Live entries across all sets (tests/stats). */
+    std::size_t entryCount() const;
+
+    /**
+     * Bytes this table occupies. Tables are allocated at full
+     * configured geometry (the paper's Table 4 reports allocated
+     * table memory, which scales with rows x assoc x succs).
+     */
+    std::uint64_t sizeBytes() const;
+
+    const BlockTableConfig &config() const { return cfg_; }
+
+  private:
+    struct Entry {
+        mem::BlockId tag = uvm::kNoBlock;
+        std::vector<mem::BlockId> succs; ///< MRU first, <= numSuccs
+        std::uint64_t lastUse = 0;
+        std::uint32_t lastEpoch = 0;
+    };
+
+    /** Map @p b to its set index. */
+    std::size_t setIndex(mem::BlockId b) const;
+
+    /** Find @p b's entry in its set, or nullptr. */
+    Entry *find(mem::BlockId b);
+    const Entry *find(mem::BlockId b) const;
+
+    BlockTableConfig cfg_;
+    std::vector<Entry> entries_; ///< numRows * assoc, set-major
+    mem::BlockId start_ = uvm::kNoBlock;
+    mem::BlockId end_ = uvm::kNoBlock;
+    std::uint64_t useClock_ = 0;
+    std::uint32_t bestLen_ = 0;     ///< longest committed sequence
+    std::uint32_t staleRejects_ = 0;
+    std::uint32_t epoch_ = 0;       ///< executions with faults seen
+};
+
+/** Lazily-allocated collection: one block table per execution ID. */
+class BlockTableMap
+{
+  public:
+    explicit BlockTableMap(const BlockTableConfig &cfg) : cfg_(cfg) {}
+
+    /** Get the table for @p id, allocating it on first use. */
+    BlockCorrelationTable &getOrCreate(ExecId id);
+
+    /** @return the table for @p id, or nullptr if never allocated. */
+    BlockCorrelationTable *find(ExecId id);
+    const BlockCorrelationTable *find(ExecId id) const;
+
+    /** Number of allocated tables. */
+    std::size_t tableCount() const { return tables_.size(); }
+
+    /** Total bytes across all allocated tables (paper Table 4). */
+    std::uint64_t totalSizeBytes() const;
+
+  private:
+    BlockTableConfig cfg_;
+    std::unordered_map<ExecId, std::unique_ptr<BlockCorrelationTable>>
+        tables_;
+};
+
+} // namespace deepum::core

@@ -1,0 +1,117 @@
+#include "core/deepum.hh"
+
+#include "core/deepum_policy.hh"
+#include "mem/addr.hh"
+
+namespace deepum::core {
+
+namespace {
+
+std::uint64_t
+effectiveWatermark(const DeepUmConfig &cfg)
+{
+    if (cfg.preevictWatermarkPages != 0)
+        return cfg.preevictWatermarkPages;
+    return 4 * mem::kPagesPerBlock;
+}
+
+} // namespace
+
+DeepUm::DeepUm(uvm::Driver &drv, const DeepUmConfig &cfg,
+               sim::StatSet &stats)
+    : drv_(drv),
+      cfg_(cfg),
+      blockTables_(cfg.table),
+      correlator_(execTable_, blockTables_),
+      prefetcher_(drv, execTable_, blockTables_, correlator_, cfg_,
+                  stats),
+      preEvictor_(drv, effectiveWatermark(cfg), stats)
+{
+    drv_.addListener(this);
+    correlator_.setCaptureHysteresis(cfg_.captureHysteresis);
+    // The protected-aware victim selection is the paper's "new page
+    // pre-eviction policy coupled with correlation prefetching"
+    // (Section 5.1): it ships with the pre-eviction feature. Without
+    // it the driver keeps its stock least-recently-migrated policy.
+    if (cfg_.preevict) {
+        drv_.setEvictionPolicy(
+            std::make_unique<DeepUmPolicy>(prefetcher_));
+    }
+    drv_.setInvalidationEnabled(cfg_.invalidate);
+}
+
+DeepUm::~DeepUm() = default;
+
+void
+DeepUm::notifyKernelLaunch(ExecId id)
+{
+    correlator_.onKernelLaunch(id);
+    prefetcher_.onKernelLaunch(id);
+}
+
+std::uint64_t
+DeepUm::tableBytes() const
+{
+    return execTable_.sizeBytes() + blockTables_.totalSizeBytes();
+}
+
+void
+DeepUm::onFaultBatch(const std::vector<mem::BlockId> &blocks)
+{
+    // The correlator must run first so the prefetcher chains over
+    // up-to-date tables.
+    correlator_.onFaultBlocks(blocks);
+    prefetcher_.onFaultBlocks(blocks);
+}
+
+void
+DeepUm::onKernelEnd(const gpu::KernelInfo &k)
+{
+    (void)k;
+    prefetcher_.onKernelEnd();
+    if (cfg_.preevict)
+        preEvictor_.poke();
+}
+
+void
+DeepUm::onMigrationIdle()
+{
+    if (cfg_.preevict)
+        preEvictor_.poke();
+}
+
+void
+DeepUm::onBlockAccessed(mem::BlockId block)
+{
+    // A block touched by the running kernel is live in that kernel's
+    // table: keep it in the fresh window even though, being resident,
+    // it neither faults nor gets prefetched.
+    BlockCorrelationTable *bt =
+        blockTables_.find(correlator_.currentExec());
+    if (bt != nullptr)
+        bt->refresh(block);
+}
+
+void
+DeepUm::onPrefetchUseful(mem::BlockId block, std::uint32_t exec_id)
+{
+    // Confirmed prediction: keep the entry in the fresh window even
+    // though successful coverage means it never faults again.
+    BlockCorrelationTable *bt = blockTables_.find(exec_id);
+    if (bt != nullptr)
+        bt->refresh(block);
+}
+
+void
+DeepUm::onPrefetchWasted(mem::BlockId block, std::uint32_t exec_id)
+{
+    if (!cfg_.wasteFeedback)
+        return; // ablation: keep stale entries
+    // The predicted consumer ran without touching the block: the
+    // entry is stale; stop feeding it to the chain.
+    BlockCorrelationTable *bt = blockTables_.find(exec_id);
+    if (bt != nullptr)
+        bt->erase(block);
+}
+
+} // namespace deepum::core

@@ -1,0 +1,28 @@
+#include "core/deepum_policy.hh"
+
+#include "core/prefetcher.hh"
+#include "uvm/driver.hh"
+
+namespace deepum::core {
+
+mem::BlockId
+DeepUmPolicy::pickVictim(const uvm::Driver &drv, bool demand)
+{
+    for (mem::BlockId b : drv.lruOrder()) {
+        if (!drv.isPinned(b) && !prefetcher_.isProtected(b))
+            return b;
+    }
+    // Everything unpinned is protected. A demand fault must make
+    // progress, so fall back to plain LRU; a prefetch or
+    // pre-eviction would be evicting predicted-useful data to make
+    // room for less certain data — better to drop it.
+    if (!demand)
+        return uvm::kNoBlock;
+    for (mem::BlockId b : drv.lruOrder()) {
+        if (!drv.isPinned(b))
+            return b;
+    }
+    return uvm::kNoBlock;
+}
+
+} // namespace deepum::core

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * DeepUM's eviction policy (paper Section 5.1).
+ *
+ * Victims must satisfy both conditions: least recently migrated, and
+ * not expected to be accessed by the current kernel or the next N
+ * kernels predicted to execute. The second condition is the
+ * prefetcher's protected set. When every unpinned resident block is
+ * protected the policy falls back to plain least-recently-migrated so
+ * demand faults can always make progress.
+ */
+
+#pragma once
+
+#include "uvm/eviction_policy.hh"
+
+namespace deepum::core {
+
+class Prefetcher;
+
+/** LRU-migrated eviction that skips predicted-use blocks. */
+class DeepUmPolicy : public uvm::EvictionPolicy
+{
+  public:
+    explicit DeepUmPolicy(const Prefetcher &prefetcher)
+        : prefetcher_(prefetcher)
+    {
+    }
+
+    mem::BlockId pickVictim(const uvm::Driver &drv, bool demand) override;
+    const char *name() const override { return "deepum"; }
+
+  private:
+    const Prefetcher &prefetcher_;
+};
+
+} // namespace deepum::core

@@ -1,0 +1,57 @@
+#include "core/exec_correlation_table.hh"
+
+#include <algorithm>
+
+namespace deepum::core {
+
+void
+ExecCorrelationTable::record(ExecId cur, const ExecHistory &hist,
+                             ExecId next)
+{
+    auto &recs = entries_[cur];
+    auto it = std::find_if(recs.begin(), recs.end(),
+                           [&](const Record &r) {
+                               return r.hist == hist && r.next == next;
+                           });
+    if (it != recs.end()) {
+        // Move to MRU position.
+        std::rotate(recs.begin(), it, it + 1);
+        return;
+    }
+    recs.insert(recs.begin(), Record{hist, next});
+}
+
+ExecId
+ExecCorrelationTable::predict(ExecId cur, const ExecHistory &hist,
+                              bool mru_fallback) const
+{
+    auto eit = entries_.find(cur);
+    if (eit == entries_.end() || eit->second.empty())
+        return kNoExecId;
+    const auto &recs = eit->second;
+    auto it = std::find_if(recs.begin(), recs.end(),
+                           [&](const Record &r) {
+                               return r.hist == hist;
+                           });
+    if (it != recs.end())
+        return it->next;
+    return mru_fallback ? recs.front().next : kNoExecId;
+}
+
+std::size_t
+ExecCorrelationTable::recordCount(ExecId cur) const
+{
+    auto it = entries_.find(cur);
+    return it == entries_.end() ? 0 : it->second.size();
+}
+
+std::uint64_t
+ExecCorrelationTable::sizeBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &[id, recs] : entries_)
+        bytes += sizeof(ExecId) + recs.size() * sizeof(Record);
+    return bytes;
+}
+
+} // namespace deepum::core

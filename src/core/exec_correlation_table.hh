@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The execution ID correlation table (paper Section 4.2, Figure 6).
+ *
+ * A single table, one entry per execution ID. Each entry holds a
+ * variable number of records of four execution IDs: the three kernels
+ * executed before the entry's kernel, and the kernel that followed
+ * it. The variable record count keeps *all* history, because a wrong
+ * next-kernel prediction is expensive while a wrong next-block
+ * prediction is cheap.
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "core/execution_id_table.hh"
+
+namespace deepum::core {
+
+/** History triple preceding a kernel: (third, second, first) last. */
+using ExecHistory = std::array<ExecId, 3>;
+
+/** Records kernel-launch successions and predicts the next launch. */
+class ExecCorrelationTable
+{
+  public:
+    /** One record: history triple plus the observed next kernel. */
+    struct Record {
+        ExecHistory hist; ///< kernels before `cur` (oldest first)
+        ExecId next;      ///< kernel observed to follow `cur`
+    };
+
+    /**
+     * Record that @p next launched while @p cur was the current
+     * kernel with preceding history @p hist. Duplicate records are
+     * moved to MRU position instead of duplicated.
+     */
+    void record(ExecId cur, const ExecHistory &hist, ExecId next);
+
+    /**
+     * Predict the kernel that will follow @p cur given @p hist.
+     * Exact history match wins; optionally falls back to the MRU
+     * record. @return kNoExecId when no prediction is possible.
+     */
+    ExecId predict(ExecId cur, const ExecHistory &hist,
+                   bool mru_fallback = true) const;
+
+    /** Records stored under @p cur (for tests and stats). */
+    std::size_t recordCount(ExecId cur) const;
+
+    /** Entries (distinct current IDs) in the table. */
+    std::size_t entryCount() const { return entries_.size(); }
+
+    /** Approximate resident bytes, for Table 4 accounting. */
+    std::uint64_t sizeBytes() const;
+
+  private:
+    /** Per-entry record list, MRU first. */
+    std::unordered_map<ExecId, std::vector<Record>> entries_;
+};
+
+} // namespace deepum::core

@@ -1,0 +1,31 @@
+#include "core/execution_id_table.hh"
+
+namespace deepum::core {
+
+std::uint64_t
+ExecutionIdTable::hashKernel(const gpu::KernelInfo &k)
+{
+    // FNV-1a over the name.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (unsigned char c : k.name) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    // Mix in the argument hash with a final avalanche.
+    h ^= k.argHash + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2);
+    return h;
+}
+
+ExecId
+ExecutionIdTable::lookupOrAssign(const gpu::KernelInfo &k)
+{
+    std::uint64_t h = hashKernel(k);
+    auto it = ids_.find(h);
+    if (it != ids_.end())
+        return it->second;
+    ExecId id = static_cast<ExecId>(ids_.size());
+    ids_.emplace(h, id);
+    return id;
+}
+
+} // namespace deepum::core

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * The DeepUM runtime's execution ID table (paper Section 3.1).
+ *
+ * Every intercepted kernel launch is hashed over its name and
+ * arguments; launches with the same hash get the same execution ID,
+ * new hashes get fresh IDs. During DNN training the kernel sequence
+ * repeats every iteration, so the ID stream repeats too — which is
+ * what makes correlation prefetching work.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+
+#include "gpu/kernel.hh"
+
+namespace deepum::core {
+
+/** Execution ID type; kNoExecId means "unknown". */
+using ExecId = std::uint32_t;
+constexpr ExecId kNoExecId = ~ExecId(0);
+
+/** Maps kernel (name, argument) hashes to stable execution IDs. */
+class ExecutionIdTable
+{
+  public:
+    /**
+     * Look up the execution ID for @p k, assigning a new one on
+     * first sight.
+     */
+    ExecId lookupOrAssign(const gpu::KernelInfo &k);
+
+    /** Number of distinct execution IDs assigned so far. */
+    std::size_t size() const { return ids_.size(); }
+
+    /** FNV-1a over the kernel name, mixed with the argument hash. */
+    static std::uint64_t hashKernel(const gpu::KernelInfo &k);
+
+  private:
+    std::unordered_map<std::uint64_t, ExecId> ids_;
+};
+
+} // namespace deepum::core

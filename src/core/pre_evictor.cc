@@ -1,0 +1,24 @@
+#include "core/pre_evictor.hh"
+
+namespace deepum::core {
+
+PreEvictor::PreEvictor(uvm::Driver &drv, std::uint64_t watermark_pages,
+                       sim::StatSet &stats)
+    : drv_(drv),
+      watermark_(watermark_pages),
+      pokes_(stats, "preevictor.pokes", "watermark checks performed"),
+      started_(stats, "preevictor.started", "pre-evictions started")
+{
+}
+
+void
+PreEvictor::poke()
+{
+    ++pokes_;
+    if (drv_.frames().freePages() >= watermark_)
+        return;
+    if (drv_.preEvictOne())
+        ++started_;
+}
+
+} // namespace deepum::core

@@ -1,0 +1,290 @@
+#include "core/prefetcher.hh"
+
+namespace deepum::core {
+
+Prefetcher::Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
+                       BlockTableMap &blocks, Correlator &correlator,
+                       const DeepUmConfig &cfg, sim::StatSet &stats)
+    : drv_(drv),
+      execTable_(exec_table),
+      blockTables_(blocks),
+      correlator_(correlator),
+      cfg_(cfg),
+      chainsStarted_(stats, "prefetcher.chainsStarted",
+                     "chain (re)starts triggered by fault batches"),
+      chainTransitions_(stats, "prefetcher.chainTransitions",
+                        "kernel-to-kernel chain transitions"),
+      chainExhaustedTransitions_(
+          stats, "prefetcher.chainExhaustedTransitions",
+          "transitions taken after exhausting a kernel's walk"),
+      chainSkippedKernels_(stats, "prefetcher.chainSkippedKernels",
+                           "predicted kernels skipped (no fault table)"),
+      chainDeadNoPrediction_(stats, "prefetcher.chainDeadNoPrediction",
+                             "chains ended: next kernel unpredictable"),
+      chainDeadNoTable_(stats, "prefetcher.chainDeadNoTable",
+                        "chains ended: predicted kernel has no table"),
+      chainPauses_(stats, "prefetcher.chainPauses",
+                   "chain pauses at the N-kernel lookahead limit"),
+      blocksIssued_(stats, "prefetcher.blocksIssued",
+                    "prefetch candidates issued to the driver"),
+      mispredictedLaunches_(stats, "prefetcher.mispredictedLaunches",
+                            "actual launches that broke the window")
+{
+}
+
+void
+Prefetcher::protect(std::size_t slot, mem::BlockId b)
+{
+    slots_[slot].blocks.push_back(b);
+    ++protected_[b];
+}
+
+void
+Prefetcher::popFrontSlot()
+{
+    for (mem::BlockId b : slots_.front().blocks) {
+        auto it = protected_.find(b);
+        DEEPUM_ASSERT(it != protected_.end(),
+                      "protection refcount out of sync");
+        if (--it->second == 0)
+            protected_.erase(it);
+    }
+    slots_.pop_front();
+    if (chainDepth_ == 0) {
+        // The chain was still working on the kernel that just ended.
+        active_ = false;
+        paused_ = false;
+        walk_.clear();
+        seen_.clear();
+    } else {
+        --chainDepth_;
+    }
+}
+
+void
+Prefetcher::clearAllSlots()
+{
+    while (!slots_.empty())
+        popFrontSlot();
+    DEEPUM_ASSERT(protected_.empty(),
+                  "protected set nonempty after clearing slots");
+    active_ = false;
+    paused_ = false;
+    chainDepth_ = 0;
+    walk_.clear();
+    seen_.clear();
+}
+
+void
+Prefetcher::issue(std::size_t slot, mem::BlockId b)
+{
+    protect(slot, b);
+    drv_.enqueuePrefetch(b, slots_[slot].exec);
+    ++blocksIssued_;
+    if (budget_ > 0)
+        --budget_;
+}
+
+void
+Prefetcher::onKernelLaunch(ExecId id)
+{
+    if (slots_.empty()) {
+        slots_.push_back(Slot{id, {}});
+        return;
+    }
+    if (slots_.size() >= 2 && slots_[1].exec == id) {
+        // Predicted correctly: slide the window.
+        popFrontSlot();
+    } else {
+        if (slots_.size() >= 2)
+            ++mispredictedLaunches_;
+        clearAllSlots();
+        slots_.push_back(Slot{id, {}});
+    }
+}
+
+void
+Prefetcher::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
+{
+    if (!cfg_.prefetch)
+        return;
+    ExecId cur = correlator_.currentExec();
+    if (cur == kNoExecId)
+        return;
+    if (blockTables_.find(cur) == nullptr)
+        return; // nothing learned about this kernel yet
+
+    // Paper Section 4.2: a new fault interrupt ends the running chain
+    // and starts a fresh one from the faulted blocks.
+    active_ = true;
+    paused_ = false;
+    predCur_ = cur;
+    predHist_ = correlator_.history();
+    chainDepth_ = 0;
+    budget_ = cfg_.chainEnqueueCap;
+    ++chainsStarted_;
+
+    if (slots_.empty())
+        slots_.push_back(Slot{cur, {}});
+    slots_[0].exec = cur;
+
+    walk_.clear();
+    seen_.clear();
+    for (mem::BlockId b : blocks) {
+        if (!seen_.insert(b).second)
+            continue;
+        // The faulted blocks are demand-migrating; protect them for
+        // the current kernel and walk their successors.
+        protect(0, b);
+        walk_.push_back(b);
+    }
+    enterKernelTable(0);
+    runChain();
+}
+
+void
+Prefetcher::enterKernelTable(std::size_t slot)
+{
+    if (!cfg_.freshTagChaining)
+        return; // ablation: start-component chaining only
+    BlockCorrelationTable *bt = blockTables_.find(slots_[slot].exec);
+    if (bt == nullptr)
+        return;
+    // Issue every live entry of the kernel's table, not only the
+    // start component: blocks covered by prefetching stop faulting
+    // and would otherwise fall out of the chain (see freshTags()).
+    for (mem::BlockId t : bt->freshTags(cfg_.freshEpochWindow)) {
+        if (!seen_.insert(t).second)
+            continue;
+        bt->refresh(t);
+        issue(slot, t);
+        walk_.push_back(t);
+        if (budget_ == 0)
+            return;
+    }
+}
+
+void
+Prefetcher::onKernelEnd()
+{
+    if (active_ && paused_) {
+        paused_ = false;
+        runChain();
+    }
+}
+
+void
+Prefetcher::runChain()
+{
+    while (active_ && !paused_) {
+        if (budget_ == 0) {
+            active_ = false;
+            return;
+        }
+        if (walk_.empty()) {
+            // Correlations for this kernel are exhausted without
+            // meeting the end block (it may sit in a replaced table
+            // way). Everything known is enqueued, so move on to the
+            // predicted next kernel rather than killing the chain.
+            ++chainExhaustedTransitions_;
+            if (!transitionChain())
+                return;
+            continue;
+        }
+        mem::BlockId p = walk_.front();
+        walk_.pop_front();
+
+        BlockCorrelationTable *bt = blockTables_.find(predCur_);
+        if (bt == nullptr) {
+            active_ = false;
+            ++chainDeadNoTable_;
+            return;
+        }
+        // A visited entry is live: keep it in the fresh window even
+        // when prefetching keeps it from ever faulting again.
+        bt->refresh(p);
+        // Copy: issue() below can grow the table owner's maps.
+        std::vector<mem::BlockId> succs = bt->successors(p);
+        bool end_met = false;
+        for (mem::BlockId s : succs) {
+            if (!seen_.insert(s).second)
+                continue;
+            issue(chainDepth_, s);
+            if (s == bt->end())
+                end_met = true;
+            walk_.push_back(s);
+        }
+        // Meeting the end block signals the kernel's chain is
+        // complete, but residual-fault "shortcut" edges can surface
+        // it early in an MRU list; drain the remaining known blocks
+        // before transitioning so one stray edge cannot truncate the
+        // kernel's coverage.
+        if (end_met && walk_.empty()) {
+            if (!transitionChain())
+                return;
+        }
+    }
+}
+
+bool
+Prefetcher::transitionChain()
+{
+    for (;;) {
+        ++chainTransitions_;
+        if (budget_ == 0) {
+            active_ = false;
+            return false;
+        }
+        ExecId next = execTable_.predict(predCur_, predHist_,
+                                         cfg_.execPredictMruFallback);
+        if (next == kNoExecId) {
+            active_ = false;
+            ++chainDeadNoPrediction_;
+            return false;
+        }
+        predHist_ = ExecHistory{predHist_[1], predHist_[2], predCur_};
+        predCur_ = next;
+        ++chainDepth_;
+        while (slots_.size() <= chainDepth_)
+            slots_.push_back(Slot{});
+        slots_[chainDepth_].exec = next;
+
+        const BlockCorrelationTable *bt = blockTables_.find(predCur_);
+        if (bt == nullptr || bt->start() == uvm::kNoBlock) {
+            // This kernel never faulted (its working set is always
+            // resident): nothing to prefetch for it. Skip through to
+            // the kernel predicted after it instead of dying, or the
+            // chain could never cross cheap kernels like optimizer
+            // steps.
+            ++chainSkippedKernels_;
+            if (chainDepth_ >= cfg_.lookaheadN) {
+                paused_ = true;
+                ++chainPauses_;
+                walk_.clear();
+                seen_.clear();
+                return true;
+            }
+            continue;
+        }
+
+        walk_.clear();
+        seen_.clear();
+        seen_.insert(bt->start());
+        issue(chainDepth_, bt->start());
+        walk_.push_back(bt->start());
+        enterKernelTable(chainDepth_);
+
+        if (chainDepth_ >= cfg_.lookaheadN) {
+            paused_ = true;
+            ++chainPauses_;
+            return true;
+        }
+        bool single_block =
+            bt->start() == bt->end() && bt->end() != uvm::kNoBlock;
+        if (!single_block)
+            return true;
+        // Degenerate single-fault kernel: keep transitioning.
+    }
+}
+
+} // namespace deepum::core

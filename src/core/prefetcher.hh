@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The prefetching thread (paper Sections 3.1 and 4.2).
+ *
+ * On every fault batch the prefetcher (re)starts *chaining*: it walks
+ * the current kernel's block correlation table from the faulted
+ * blocks, enqueueing every successor into the driver's prefetch
+ * queue. When it meets the kernel's `end` block it consults the
+ * execution ID table to predict the next kernel and continues from
+ * that kernel's `start` block. Chaining pauses once commands for the
+ * next N kernels are enqueued and resumes when the running kernel
+ * finishes; it dies when the next kernel cannot be predicted, and is
+ * restarted by the next fault.
+ *
+ * The prefetcher also maintains the *protected set* — blocks
+ * predicted to be used by the current and next N kernels — which the
+ * DeepUM eviction policy consults (Section 5.1).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/block_correlation_table.hh"
+#include "core/config.hh"
+#include "core/correlator.hh"
+#include "core/exec_correlation_table.hh"
+#include "sim/stats.hh"
+#include "uvm/driver.hh"
+
+namespace deepum::core {
+
+/** Issues prefetch commands by chaining through correlation tables. */
+class Prefetcher
+{
+  public:
+    Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
+               BlockTableMap &blocks, Correlator &correlator,
+               const DeepUmConfig &cfg, sim::StatSet &stats);
+
+    /** The runtime announced the next kernel (actual transition). */
+    void onKernelLaunch(ExecId id);
+
+    /** A preprocessed fault batch arrived: restart chaining. */
+    void onFaultBlocks(const std::vector<mem::BlockId> &blocks);
+
+    /** The running kernel finished: resume a paused chain. */
+    void onKernelEnd();
+
+    /**
+     * @return true if @p b is predicted to be used by the current or
+     * next N kernels (the pre-eviction protection test).
+     */
+    bool
+    isProtected(mem::BlockId b) const
+    {
+        return protected_.count(b) != 0;
+    }
+
+    /** Number of kernels the chain has advanced past the current. */
+    std::uint32_t chainDepth() const { return chainDepth_; }
+
+    /** True if a chain is live (possibly paused). */
+    bool chainActive() const { return active_; }
+
+    /** Number of distinct blocks currently protected. */
+    std::size_t protectedCount() const { return protected_.size(); }
+
+  private:
+    /** One kernel's slot in the prediction window. */
+    struct Slot {
+        ExecId exec = kNoExecId;
+        std::vector<mem::BlockId> blocks; ///< protected for this slot
+    };
+
+    /** Add @p b to @p slot's protection list. */
+    void protect(std::size_t slot, mem::BlockId b);
+
+    /** Drop the front slot (its kernel retired or mispredicted). */
+    void popFrontSlot();
+
+    /** Drop every slot and kill the chain. */
+    void clearAllSlots();
+
+    /** Enqueue @p b and protect it for slot @p slot. */
+    void issue(std::size_t slot, mem::BlockId b);
+
+    /** Issue all live entries of @p slot's kernel table. */
+    void enterKernelTable(std::size_t slot);
+
+    /** Walk successors until pause/death/budget-exhaustion. */
+    void runChain();
+
+    /**
+     * Met the end block: predict the next kernel and move the chain
+     * to its start block. @return false if the chain dies.
+     */
+    bool transitionChain();
+
+    uvm::Driver &drv_;
+    ExecCorrelationTable &execTable_;
+    BlockTableMap &blockTables_;
+    Correlator &correlator_;
+    const DeepUmConfig &cfg_;
+
+    std::deque<Slot> slots_; ///< [0] = running kernel, then predicted
+    std::unordered_map<mem::BlockId, std::uint32_t> protected_;
+
+    // Chain state.
+    bool active_ = false;
+    bool paused_ = false;
+    ExecId predCur_ = kNoExecId;     ///< kernel being prefetched for
+    ExecHistory predHist_{kNoExecId, kNoExecId, kNoExecId};
+    std::uint32_t chainDepth_ = 0;   ///< slots_ index being filled
+    std::deque<mem::BlockId> walk_;  ///< blocks whose succs to visit
+    std::unordered_set<mem::BlockId> seen_; ///< per-kernel walk dedupe
+    std::uint32_t budget_ = 0;       ///< enqueue cap per activation
+
+    sim::Scalar chainsStarted_;
+    sim::Scalar chainTransitions_;
+    sim::Scalar chainExhaustedTransitions_;
+    sim::Scalar chainSkippedKernels_;
+    sim::Scalar chainDeadNoPrediction_;
+    sim::Scalar chainDeadNoTable_;
+    sim::Scalar chainPauses_;
+    sim::Scalar blocksIssued_;
+    sim::Scalar mispredictedLaunches_;
+};
+
+} // namespace deepum::core

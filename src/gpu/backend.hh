@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Interface the GPU engine uses to talk to the memory driver.
+ *
+ * The engine only needs residency checks, a way to signal fault
+ * interrupts, and kernel-boundary notifications; everything else
+ * (eviction, prefetching, tables) lives behind this interface in the
+ * uvm/ and core/ modules.
+ */
+
+#pragma once
+
+#include "gpu/kernel.hh"
+#include "mem/addr.hh"
+
+namespace deepum::gpu {
+
+/** Driver-side interface for the GPU engine. */
+class UvmBackend
+{
+  public:
+    virtual ~UvmBackend() = default;
+
+    /** @return true if @p block is resident in device memory. */
+    virtual bool isResident(mem::BlockId block) const = 0;
+
+    /**
+     * The GPU raised a page-fault interrupt; entries are already in
+     * the fault buffer. The driver should schedule fault handling.
+     */
+    virtual void faultInterrupt() = 0;
+
+    /** A kernel is about to start executing on the GPU. */
+    virtual void onKernelBegin(const KernelInfo &k) = 0;
+
+    /** The running kernel finished all its accesses. */
+    virtual void onKernelEnd(const KernelInfo &k) = 0;
+
+    /** The GPU touched @p block (resident access, not a fault). */
+    virtual void onBlockAccess(mem::BlockId block) = 0;
+};
+
+} // namespace deepum::gpu

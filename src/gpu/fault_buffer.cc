@@ -1,0 +1,4 @@
+#include "gpu/fault_buffer.hh"
+
+// Header-only today; the translation unit anchors the component in
+// the library and keeps a stable home for future out-of-line code.

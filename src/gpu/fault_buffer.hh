@@ -1,0 +1,79 @@
+/**
+ * @file
+ * The hardware fault buffer.
+ *
+ * NVIDIA GPUs accumulate faulted accesses in an on-device circular
+ * queue that the driver drains (paper Section 2.3). Multiple entries
+ * for the same page can coexist; the driver dedupes during
+ * preprocessing. We keep entries at UM-block granularity with a page
+ * count, which is the granularity the driver manages anyway.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "gpu/kernel.hh"
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace deepum::gpu {
+
+/** One faulted access recorded by the GPU. */
+struct FaultEntry {
+    mem::BlockId block;     ///< faulted UM block
+    std::uint32_t pages;    ///< pages of the block the access needed
+    bool write;             ///< access type
+    sim::Tick raised;       ///< when the GPU raised it
+};
+
+/**
+ * Circular queue of fault entries.
+ *
+ * Capacity models the hardware buffer; overflow is counted (real
+ * hardware throttles the SMs, which our stall model already
+ * approximates) but entries are never dropped.
+ */
+class FaultBuffer
+{
+  public:
+    /** @param capacity nominal hardware capacity in entries */
+    explicit FaultBuffer(std::size_t capacity = 256)
+        : capacity_(capacity)
+    {
+    }
+
+    /** Record a faulted access. */
+    void
+    push(const FaultEntry &e)
+    {
+        if (entries_.size() >= capacity_)
+            ++overflows_;
+        entries_.push_back(e);
+        ++totalPushed_;
+    }
+
+    /** Drain every pending entry in arrival order. */
+    std::vector<FaultEntry>
+    drain()
+    {
+        std::vector<FaultEntry> out(entries_.begin(), entries_.end());
+        entries_.clear();
+        return out;
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::uint64_t totalPushed() const { return totalPushed_; }
+    std::uint64_t overflows() const { return overflows_; }
+
+  private:
+    std::size_t capacity_;
+    std::deque<FaultEntry> entries_;
+    std::uint64_t totalPushed_ = 0;
+    std::uint64_t overflows_ = 0;
+};
+
+} // namespace deepum::gpu

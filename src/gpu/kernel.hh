@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Kernel descriptors and their memory access traces.
+ *
+ * A kernel is what the DeepUM runtime intercepts: a name, an argument
+ * hash (name + argument values give the execution ID, paper
+ * Section 3.1), a compute duration, and the ordered list of UM-block
+ * accesses its threads perform.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/types.hh"
+
+namespace deepum::gpu {
+
+/** One access to (part of) a UM block by a kernel. */
+struct BlockAccess {
+    mem::BlockId block;     ///< which UM block
+    std::uint32_t pages;    ///< pages of that block touched
+    bool write;             ///< true if the access writes
+};
+
+/** A CUDA kernel launch as seen by the runtime interposer. */
+struct KernelInfo {
+    std::string name;                   ///< kernel symbol name
+    std::uint64_t argHash = 0;          ///< hash of launch arguments
+    sim::Tick computeNs = 0;            ///< pure compute time
+    std::vector<BlockAccess> accesses;  ///< ordered block touches
+
+    /** Total pages touched (with multiplicity). */
+    std::uint64_t
+    pagesTouched() const
+    {
+        std::uint64_t n = 0;
+        for (const auto &a : accesses)
+            n += a.pages;
+        return n;
+    }
+};
+
+} // namespace deepum::gpu

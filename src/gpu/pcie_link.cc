@@ -1,0 +1,3 @@
+#include "gpu/pcie_link.hh"
+
+// Header-only today; see fault_buffer.cc for rationale.

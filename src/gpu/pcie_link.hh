@@ -1,0 +1,66 @@
+/**
+ * @file
+ * The PCIe copy path shared by demand migration, prefetching,
+ * eviction write-back, and baseline tensor swapping.
+ *
+ * One serial resource: callers reserve it for a transfer and get the
+ * completion time back. Serializing both directions slightly
+ * pessimizes against real full-duplex PCIe, which is conservative
+ * for DeepUM (prefetch and write-back contend in our model).
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/timing.hh"
+#include "sim/types.hh"
+
+namespace deepum::gpu {
+
+/** Transfer direction, for statistics. */
+enum class Dir { HostToDev, DevToHost };
+
+/** A serially-reserved copy engine with bandwidth + setup latency. */
+class PcieLink
+{
+  public:
+    explicit PcieLink(const TimingConfig &cfg) : cfg_(cfg) {}
+
+    /**
+     * Reserve the link for @p bytes starting no earlier than @p now.
+     * @return the completion tick.
+     */
+    sim::Tick
+    acquire(sim::Tick now, std::uint64_t bytes, Dir dir)
+    {
+        sim::Tick start = now > busyUntil_ ? now : busyUntil_;
+        sim::Tick dur = cfg_.pcieLatency + cfg_.copyTicks(bytes);
+        busyUntil_ = start + dur;
+        busyTicks_ += dur;
+        if (dir == Dir::HostToDev)
+            bytesHtoD_ += bytes;
+        else
+            bytesDtoH_ += bytes;
+        return busyUntil_;
+    }
+
+    /** Earliest tick a new transfer could start. */
+    sim::Tick freeAt() const { return busyUntil_; }
+
+    /** True if the link is idle at @p now. */
+    bool idleAt(sim::Tick now) const { return busyUntil_ <= now; }
+
+    std::uint64_t bytesHtoD() const { return bytesHtoD_; }
+    std::uint64_t bytesDtoH() const { return bytesDtoH_; }
+    sim::Tick busyTicks() const { return busyTicks_; }
+
+  private:
+    const TimingConfig &cfg_;
+    sim::Tick busyUntil_ = 0;
+    sim::Tick busyTicks_ = 0;
+    std::uint64_t bytesHtoD_ = 0;
+    std::uint64_t bytesDtoH_ = 0;
+};
+
+} // namespace deepum::gpu

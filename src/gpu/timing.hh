@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Timing parameters of the simulated GPU + PCIe system.
+ *
+ * The defaults model a V100-class PCIe card at 1/128 memory scale
+ * (see DESIGN.md section 5): what matters for reproducing the paper
+ * is the *ratio* between compute throughput, link bandwidth, and
+ * fault-handling overheads, not their absolute values.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace deepum::gpu {
+
+/** All tunable costs of the device/driver timing model. */
+struct TimingConfig {
+    /** Sustained PCIe copy bandwidth, bytes per second. */
+    std::uint64_t pcieBytesPerSec = std::uint64_t(12) * sim::kGiB;
+
+    /** Fixed per-transfer setup latency on the link. */
+    sim::Tick pcieLatency = 10 * sim::kUsec;
+
+    /** Delay from GPU fault signal to the driver starting to run. */
+    sim::Tick faultInterruptLatency = 5 * sim::kUsec;
+
+    /** Cost to fetch one entry from the hardware fault buffer. */
+    sim::Tick faultFetchPerEntry = 200;
+
+    /** Base cost of one pass of the fault-preprocess step. */
+    sim::Tick faultPreprocessBase = 15 * sim::kUsec;
+
+    /** Per-faulted-UM-block cost of preprocessing/bookkeeping. */
+    sim::Tick faultPreprocessPerBlock = 2 * sim::kUsec;
+
+    /** Cost of sending the replay signal and unblocking the SMs. */
+    sim::Tick replayLatency = 5 * sim::kUsec;
+
+    /**
+     * Demand (fault-path) migrations move fault-granularity chunks,
+     * each paying a driver/replay round trip — the well-documented
+     * reason naive UM sustains only ~1-2 GB/s on demand paging while
+     * bulk prefetch/eviction copies run at near-peak PCIe bandwidth.
+     */
+    std::uint64_t demandChunkBytes = 64 * sim::kKiB;
+
+    /** Extra handling cost per demand chunk (beyond pcieLatency). */
+    sim::Tick demandChunkOverhead = 30 * sim::kUsec;
+
+    /** Cost to zero-fill one page populated on first touch. */
+    sim::Tick zeroFillPerPage = 150;
+
+    /** Cost to map or unmap one UM block into GPU page tables. */
+    sim::Tick mapBlock = 1 * sim::kUsec;
+
+    /** CPU-side launch overhead charged before each kernel. */
+    sim::Tick kernelLaunchOverhead = 6 * sim::kUsec;
+
+    /**
+     * Number of in-flight block accesses the SMs issue as one batch.
+     * Faults within one batch are raised together, modelling many SMs
+     * faulting concurrently into the fault buffer.
+     */
+    unsigned smBatch = 8;
+
+    /** Transfer duration (no setup latency) for @p bytes. */
+    sim::Tick
+    copyTicks(std::uint64_t bytes) const
+    {
+        // bytes / (bytes/s) in ns = bytes * 1e9 / bw
+        return static_cast<sim::Tick>(
+            (static_cast<__uint128_t>(bytes) * sim::kSec) /
+            pcieBytesPerSec);
+    }
+};
+
+} // namespace deepum::gpu

@@ -1,0 +1,3 @@
+#include "harness/energy.hh"
+
+// Header-only; this TU anchors the module in the library.

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Whole-system energy model (paper Fig. 9(c), Fig. 11(b)).
+ *
+ * The paper measures wall power of the full node with a Hioki power
+ * meter; energy ratios are dominated by run time with a second-order
+ * contribution from GPU and PCIe activity. We integrate a three-term
+ * power state model over the simulated run:
+ *
+ *   E = P_base * T + P_gpu * T_compute + P_link * T_link + e_B * B
+ *
+ * where B is total bytes moved over PCIe.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace deepum::harness {
+
+/** Integrated power-state energy model. */
+struct EnergyModel {
+    double basePowerW = 320.0;   ///< CPUs + board + DIMMs, idle GPU
+    double gpuPowerW = 210.0;    ///< extra while SMs compute
+    double linkPowerW = 28.0;    ///< extra while PCIe copies run
+    double perByteNj = 0.35;     ///< DMA + DRAM energy per byte (nJ)
+
+    /**
+     * @param window wall ticks of the measured window
+     * @param compute_ticks GPU compute ticks inside the window
+     * @param link_ticks PCIe busy ticks inside the window
+     * @param bytes_moved PCIe bytes inside the window
+     * @return joules consumed over the window
+     */
+    double
+    joules(sim::Tick window, sim::Tick compute_ticks,
+           sim::Tick link_ticks, std::uint64_t bytes_moved) const
+    {
+        double t = sim::ticksToSeconds(window);
+        double tc = sim::ticksToSeconds(compute_ticks);
+        double tl = sim::ticksToSeconds(link_ticks);
+        return basePowerW * t + gpuPowerW * tc + linkPowerW * tl +
+               perByteNj * 1e-9 * static_cast<double>(bytes_moved);
+    }
+};
+
+} // namespace deepum::harness

@@ -1,0 +1,162 @@
+#include "harness/experiment.hh"
+
+#include <memory>
+
+#include "core/deepum.hh"
+#include "core/runtime.hh"
+#include "gpu/fault_buffer.hh"
+#include "gpu/gpu_engine.hh"
+#include "gpu/pcie_link.hh"
+#include "harness/session.hh"
+#include "mem/frame_pool.hh"
+#include "mem/va_space.hh"
+#include "models/registry.hh"
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/stats.hh"
+#include "torch/allocator.hh"
+#include "torch/um_source.hh"
+#include "uvm/driver.hh"
+
+namespace deepum::harness {
+
+const char *
+systemName(SystemKind kind)
+{
+    switch (kind) {
+      case SystemKind::Ideal:
+        return "Ideal";
+      case SystemKind::Um:
+        return "UM";
+      case SystemKind::OcDnn:
+        return "OC-DNN";
+      case SystemKind::DeepUm:
+        return "DeepUM";
+    }
+    return "?";
+}
+
+RunResult
+runExperiment(const torch::Tape &tape, SystemKind kind,
+              const ExperimentConfig &cfg)
+{
+    sim::EventQueue eq;
+    sim::StatSet stats;
+
+    std::uint64_t gpu_bytes = cfg.gpuMemBytes;
+    std::uint64_t host_bytes = cfg.hostMemBytes;
+    if (kind == SystemKind::Ideal) {
+        // No oversubscription: device memory covers the footprint
+        // (the paper measures the in-memory case and scales it).
+        gpu_bytes = tape.footprintBytes() * 2 + 64 * sim::kMiB;
+        host_bytes = std::max(host_bytes, gpu_bytes * 2);
+    }
+
+    gpu::FaultBuffer fb;
+    gpu::PcieLink link(cfg.timing);
+    mem::FramePool frames(gpu_bytes / mem::kPageSize);
+    mem::VaSpace va(host_bytes);
+
+    gpu::GpuEngine engine(eq, cfg.timing, fb, stats);
+    uvm::Driver driver(eq, cfg.timing, fb, link, frames, stats);
+    engine.setBackend(&driver);
+    driver.setEngine(&engine);
+
+    std::unique_ptr<core::DeepUm> deepum;
+    if (kind == SystemKind::DeepUm)
+        deepum = std::make_unique<core::DeepUm>(driver, cfg.deepum,
+                                                stats);
+
+    core::Runtime runtime(va, driver, engine, deepum.get());
+    torch::UmSegmentSource source(runtime);
+    torch::CachingAllocator alloc(source, stats);
+
+    Session session(eq, runtime, alloc, stats, link, tape,
+                    cfg.iterations, cfg.seed,
+                    /*manual_prefetch=*/kind == SystemKind::OcDnn);
+    bool ok = session.run();
+
+    RunResult r;
+    r.ok = ok;
+    if (!ok)
+        return r;
+
+    const auto &snaps = session.snapshots();
+    DEEPUM_ASSERT(snaps.size() == cfg.iterations,
+                  "snapshot count mismatch");
+    DEEPUM_ASSERT(cfg.warmup < cfg.iterations,
+                  "warmup must leave measured iterations");
+
+    IterSnapshot base;
+    if (cfg.warmup > 0)
+        base = snaps[cfg.warmup - 1];
+    const IterSnapshot &end = snaps.back();
+    std::uint32_t iters = cfg.iterations - cfg.warmup;
+    r.measuredIters = iters;
+
+    sim::Tick window = end.endTick - base.endTick;
+    r.ticksPerIter = window / iters;
+    r.secPer100Iters = sim::ticksToSeconds(window) * 100.0 / iters;
+    r.pageFaultsPerIter =
+        static_cast<double>(end.pageFaults - base.pageFaults) / iters;
+    r.computeTicksPerIter =
+        (end.computeTicks - base.computeTicks) / iters;
+    r.bytesHtoDPerIter = (end.bytesHtoD - base.bytesHtoD) / iters;
+    r.bytesDtoHPerIter = (end.bytesDtoH - base.bytesDtoH) / iters;
+
+    std::uint64_t bytes_window = (end.bytesHtoD - base.bytesHtoD) +
+                                 (end.bytesDtoH - base.bytesDtoH);
+    double joules = cfg.energy.joules(
+        window, end.computeTicks - base.computeTicks,
+        end.linkBusyTicks - base.linkBusyTicks, bytes_window);
+    r.energyJPerIter = joules / iters;
+
+    if (deepum != nullptr)
+        r.tableBytes = deepum->tableBytes();
+
+    for (const auto &[name, s] : stats.all())
+        r.stats.emplace(name, s->value());
+    return r;
+}
+
+std::uint64_t
+maxBatch(const std::string &model, SystemKind kind,
+         const ExperimentConfig &cfg, std::uint64_t lo,
+         std::uint64_t hi)
+{
+    ExperimentConfig quick = cfg;
+    quick.iterations = 3;
+    quick.warmup = 1;
+
+    auto fits = [&](std::uint64_t batch) {
+        torch::Tape tape = models::buildModel(model, batch);
+        return runExperiment(tape, kind, quick).ok;
+    };
+
+    if (!fits(lo))
+        return 0;
+    // Exponential probe up to hi.
+    std::uint64_t good = lo, bad = 0;
+    std::uint64_t probe = lo;
+    while (probe < hi) {
+        probe = std::min(hi, probe * 2);
+        if (fits(probe)) {
+            good = probe;
+        } else {
+            bad = probe;
+            break;
+        }
+    }
+    if (bad == 0)
+        return good; // everything up to hi fits
+    while (bad - good > std::max<std::uint64_t>(1, good / 64)) {
+        std::uint64_t mid = good + (bad - good) / 2;
+        if (fits(mid))
+            good = mid;
+        else
+            bad = mid;
+    }
+    return good;
+}
+
+} // namespace deepum::harness

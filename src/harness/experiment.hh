@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment runner: one (model, batch, system) measurement.
+ *
+ * Wires the full stack — event queue, fault buffer, PCIe link, frame
+ * pool, UVM driver, optional DeepUM module, runtime, caching
+ * allocator, session — runs the training loop, and reduces the
+ * per-iteration snapshots into the metrics the paper reports.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "core/config.hh"
+#include "gpu/timing.hh"
+#include "harness/energy.hh"
+#include "sim/types.hh"
+#include "torch/tape.hh"
+
+namespace deepum::harness {
+
+/** Which memory system executes the run. */
+enum class SystemKind {
+    Ideal,  ///< GPU memory large enough: no oversubscription
+    Um,     ///< naive CUDA UM: demand paging only
+    OcDnn,  ///< UM + manual cudaMemPrefetchAsync before each op
+    DeepUm, ///< UM + the DeepUM module (flags in DeepUmConfig)
+};
+
+/** @return a printable name for @p kind. */
+const char *systemName(SystemKind kind);
+
+/** Everything configurable about one run. */
+struct ExperimentConfig {
+    std::uint64_t gpuMemBytes = 256 * sim::kMiB;
+    std::uint64_t hostMemBytes = 4 * sim::kGiB; ///< UM heap capacity
+    gpu::TimingConfig timing;
+    core::DeepUmConfig deepum; ///< used when kind == DeepUm
+    EnergyModel energy;
+    std::uint32_t iterations = 18;
+    std::uint32_t warmup = 8;
+    std::uint64_t seed = 12345;
+};
+
+/** Reduced metrics of one run. */
+struct RunResult {
+    bool ok = false; ///< completed without OOM
+    std::uint32_t measuredIters = 0;
+
+    sim::Tick ticksPerIter = 0;
+    double secPer100Iters = 0.0; ///< paper Fig. 9(b) unit
+    double pageFaultsPerIter = 0.0;
+    double energyJPerIter = 0.0;
+
+    std::uint64_t bytesHtoDPerIter = 0;
+    std::uint64_t bytesDtoHPerIter = 0;
+    sim::Tick computeTicksPerIter = 0;
+
+    std::uint64_t tableBytes = 0; ///< DeepUM correlation tables
+
+    /** Full end-of-run counter dump for tests and debugging. */
+    std::map<std::string, std::uint64_t> stats;
+};
+
+/** Run @p tape once under @p kind. */
+RunResult runExperiment(const torch::Tape &tape, SystemKind kind,
+                        const ExperimentConfig &cfg);
+
+/**
+ * Largest batch size that completes without OOM, searched by
+ * doubling then bisection over @p build(batch) runs with a reduced
+ * iteration count. @p lo must succeed (else returns 0).
+ */
+std::uint64_t
+maxBatch(const std::string &model, SystemKind kind,
+         const ExperimentConfig &cfg, std::uint64_t lo,
+         std::uint64_t hi);
+
+} // namespace deepum::harness

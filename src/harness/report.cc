@@ -1,0 +1,124 @@
+#include "harness/report.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "sim/logging.hh"
+#include "sim/types.hh"
+
+namespace deepum::harness {
+
+TextTable::TextTable(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+}
+
+void
+TextTable::row(std::vector<std::string> cells)
+{
+    DEEPUM_ASSERT(cells.size() == headers_.size(),
+                  "row width %zu != header width %zu", cells.size(),
+                  headers_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TextTable::print(std::ostream &os) const
+{
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        width[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            width[c] = std::max(width[c], r[c].size());
+
+    // First column left-aligned, the rest right-aligned.
+    auto pad = [&](const std::string &s, std::size_t w, bool left) {
+        std::string out = s;
+        while (out.size() < w) {
+            if (left)
+                out.push_back(' ');
+            else
+                out.insert(out.begin(), ' ');
+        }
+        return out;
+    };
+
+    auto print_row = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            if (c != 0)
+                os << "  ";
+            os << pad(cells[c], width[c], c == 0);
+        }
+        os << '\n';
+    };
+
+    print_row(headers_);
+    std::size_t total = 0;
+    for (std::size_t c = 0; c < width.size(); ++c)
+        total += width[c] + (c == 0 ? 0 : 2);
+    os << std::string(total, '-') << '\n';
+    for (const auto &r : rows_)
+        print_row(r);
+}
+
+std::string
+fmtDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+std::string
+fmtSpeedup(double v)
+{
+    if (v <= 0.0 || !std::isfinite(v))
+        return "-";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.2fx", v);
+    return buf;
+}
+
+std::string
+fmtMiB(std::uint64_t bytes)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f MiB",
+                  static_cast<double>(bytes) /
+                      static_cast<double>(sim::kMiB));
+    return buf;
+}
+
+std::string
+fmtBatch(std::uint64_t batch)
+{
+    char buf[64];
+    if (batch >= 1024 && batch % 1024 == 0) {
+        std::snprintf(buf, sizeof(buf), "%lluK",
+                      static_cast<unsigned long long>(batch / 1024));
+    } else if (batch >= 1000) {
+        std::snprintf(buf, sizeof(buf), "%.1fK",
+                      static_cast<double>(batch) / 1000.0);
+    } else {
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(batch));
+    }
+    return buf;
+}
+
+double
+geomean(const std::vector<double> &values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        DEEPUM_ASSERT(v > 0.0, "geomean of non-positive value");
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+} // namespace deepum::harness

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Text-table reporter used by the bench binaries to print the
+ * paper's tables and figure series.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace deepum::harness {
+
+/** Right-aligned fixed-width text table. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::vector<std::string> headers);
+
+    /** Append a row; must match the header count. */
+    void row(std::vector<std::string> cells);
+
+    /** Print with column sizing and a separator under the header. */
+    void print(std::ostream &os) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** "12.34" style formatting. */
+std::string fmtDouble(double v, int precision = 2);
+
+/** "3.06x" speedup formatting; "-" when not available. */
+std::string fmtSpeedup(double v);
+
+/** Human bytes: "308 MB". */
+std::string fmtMiB(std::uint64_t bytes);
+
+/** "96K"/"1.5K" batch-size labels like the paper uses. */
+std::string fmtBatch(std::uint64_t batch);
+
+/** Geometric mean of positive values (0 if empty). */
+double geomean(const std::vector<double> &values);
+
+} // namespace deepum::harness

@@ -1,0 +1,201 @@
+#include "harness/session.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace deepum::harness {
+
+Session::Session(sim::EventQueue &eq, core::Runtime &rt,
+                 torch::CachingAllocator &alloc, sim::StatSet &stats,
+                 gpu::PcieLink &link, const torch::Tape &tape,
+                 std::uint32_t iterations, std::uint64_t seed,
+                 bool manual_prefetch)
+    : eq_(eq),
+      rt_(rt),
+      alloc_(alloc),
+      stats_(stats),
+      link_(link),
+      tape_(tape),
+      iterations_(iterations),
+      rng_(seed),
+      manualPrefetch_(manual_prefetch),
+      tensorVa_(tape.tensors.size(), 0)
+{
+    tape_.validate();
+}
+
+bool
+Session::run()
+{
+    processSteps();
+    eq_.run();
+    DEEPUM_ASSERT(finished_ || oom_,
+                  "session stopped with the event queue drained but "
+                  "the tape unfinished");
+    return !oom_;
+}
+
+bool
+Session::applyStep(const torch::TapeStep &step)
+{
+    const torch::TensorDecl &decl = tape_.tensors[step.tensor];
+    if (step.kind == torch::StepKind::Alloc) {
+        DEEPUM_ASSERT(tensorVa_[step.tensor] == 0,
+                      "double allocation of tensor %s",
+                      decl.name.c_str());
+        mem::VAddr va = alloc_.malloc(decl.bytes);
+        if (va == 0) {
+            oom_ = true;
+            return false;
+        }
+        tensorVa_[step.tensor] = va;
+    } else {
+        DEEPUM_ASSERT(tensorVa_[step.tensor] != 0,
+                      "free of unallocated tensor %s",
+                      decl.name.c_str());
+        alloc_.free(tensorVa_[step.tensor]);
+        tensorVa_[step.tensor] = 0;
+    }
+    return true;
+}
+
+void
+Session::buildKernel(std::int32_t op_index)
+{
+    const torch::TapeOp &op = tape_.ops[op_index];
+    ki_.name = op.name;
+    ki_.argHash = op.argHash;
+    ki_.computeNs = op.computeNs;
+    ki_.accesses.clear();
+
+    auto add_range = [this](mem::VAddr va, std::uint64_t bytes,
+                            bool write) {
+        for (mem::BlockId b = mem::firstBlock(va, bytes),
+                          e = mem::endBlock(va, bytes);
+             b != e; ++b) {
+            ki_.accesses.push_back(gpu::BlockAccess{
+                b,
+                static_cast<std::uint32_t>(
+                    mem::pagesInBlock(b, va, bytes)),
+                write});
+        }
+    };
+
+    // Reads first.
+    for (const auto &u : op.uses) {
+        if (u.write)
+            continue;
+        DEEPUM_ASSERT(tensorVa_[u.tensor] != 0,
+                      "kernel %s uses unallocated tensor %s",
+                      op.name.c_str(),
+                      tape_.tensors[u.tensor].name.c_str());
+        add_range(tensorVa_[u.tensor], tape_.tensors[u.tensor].bytes,
+                  false);
+    }
+
+    // Then the irregular gather, if any: distinct random blocks of
+    // the table, in random order, re-drawn every launch.
+    if (op.gatherTensor != torch::kNoTensor && op.gatherBlocks > 0) {
+        mem::VAddr va = tensorVa_[op.gatherTensor];
+        std::uint64_t bytes = tape_.tensors[op.gatherTensor].bytes;
+        DEEPUM_ASSERT(va != 0, "gather from unallocated table");
+        mem::BlockId first = mem::firstBlock(va, bytes);
+        std::uint64_t nblocks = mem::endBlock(va, bytes) - first;
+        std::uint32_t want = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(op.gatherBlocks, nblocks));
+
+        // Partial Fisher-Yates over the block indices.
+        std::vector<std::uint32_t> idx(nblocks);
+        for (std::uint64_t i = 0; i < nblocks; ++i)
+            idx[i] = static_cast<std::uint32_t>(i);
+        for (std::uint32_t i = 0; i < want; ++i) {
+            std::uint64_t j = i + rng_.below(nblocks - i);
+            std::swap(idx[i], idx[j]);
+            mem::BlockId b = first + idx[i];
+            ki_.accesses.push_back(gpu::BlockAccess{
+                b,
+                static_cast<std::uint32_t>(mem::pagesInBlock(
+                    b, va, bytes)),
+                op.gatherWrites});
+        }
+    }
+
+    // Writes last.
+    for (const auto &u : op.uses) {
+        if (!u.write)
+            continue;
+        DEEPUM_ASSERT(tensorVa_[u.tensor] != 0,
+                      "kernel %s writes unallocated tensor %s",
+                      op.name.c_str(),
+                      tape_.tensors[u.tensor].name.c_str());
+        add_range(tensorVa_[u.tensor], tape_.tensors[u.tensor].bytes,
+                  true);
+    }
+}
+
+void
+Session::prefetchNextOp(std::size_t from)
+{
+    // Only look within the iteration body; allocations between here
+    // and the next launch have not happened yet, so restrict the
+    // prefetch to tensors that are already bound.
+    for (std::size_t i = from; i < tape_.iteration.size(); ++i) {
+        const torch::TapeStep &s = tape_.iteration[i];
+        if (s.kind != torch::StepKind::Launch)
+            continue;
+        const torch::TapeOp &op = tape_.ops[s.opIndex];
+        for (const auto &u : op.uses) {
+            if (tensorVa_[u.tensor] == 0)
+                continue;
+            rt_.memPrefetchAsync(tensorVa_[u.tensor],
+                                 tape_.tensors[u.tensor].bytes);
+        }
+        return;
+    }
+}
+
+void
+Session::processSteps()
+{
+    for (;;) {
+        const auto &steps =
+            inPrologue_ ? tape_.prologue : tape_.iteration;
+
+        if (stepIdx_ >= steps.size()) {
+            if (inPrologue_) {
+                inPrologue_ = false;
+                stepIdx_ = 0;
+                continue;
+            }
+            // Iteration boundary.
+            IterSnapshot s;
+            s.endTick = eq_.now();
+            s.pageFaults = stats_.get("uvm.pageFaults");
+            s.computeTicks = stats_.get("gpu.computeTicks");
+            s.linkBusyTicks = link_.busyTicks();
+            s.bytesHtoD = link_.bytesHtoD();
+            s.bytesDtoH = link_.bytesDtoH();
+            snaps_.push_back(s);
+            if (++iterDone_ >= iterations_) {
+                finished_ = true;
+                return;
+            }
+            stepIdx_ = 0;
+            continue;
+        }
+
+        const torch::TapeStep &step = steps[stepIdx_++];
+        if (step.kind == torch::StepKind::Launch) {
+            buildKernel(step.opIndex);
+            if (manualPrefetch_)
+                prefetchNextOp(stepIdx_);
+            rt_.launchKernel(&ki_, [this] { processSteps(); });
+            return;
+        }
+        if (!applyStep(step))
+            return; // OOM: stop feeding work
+    }
+}
+
+} // namespace deepum::harness

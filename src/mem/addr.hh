@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Address arithmetic: pages and UM blocks.
+ *
+ * CUDA Unified Memory manages 4 KiB pages; the NVIDIA driver groups
+ * up to 512 contiguous pages (2 MiB) into a "UM block" and processes
+ * all pages of a block together (paper Section 2.3). The simulator
+ * mirrors that: every VA is 4 KiB-page addressable, and a BlockId
+ * names the 2 MiB-aligned region containing it.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "sim/types.hh"
+
+namespace deepum::mem {
+
+/** A unified virtual address. */
+using VAddr = std::uint64_t;
+
+/** Global index of a 4 KiB page (va / kPageSize). */
+using PageId = std::uint64_t;
+
+/** Global index of a 2 MiB UM block (va / kBlockBytes). */
+using BlockId = std::uint64_t;
+
+/** Size of one page in bytes. */
+constexpr std::uint64_t kPageSize = 4 * sim::kKiB;
+
+/** Maximum pages grouped into one UM block. */
+constexpr std::uint64_t kPagesPerBlock = 512;
+
+/** Size of a full UM block in bytes. */
+constexpr std::uint64_t kBlockBytes = kPageSize * kPagesPerBlock;
+
+/** Base of the simulated UM virtual address space. */
+constexpr VAddr kUmBase = 0x10'0000'0000ULL;
+
+/** Round @p bytes up to a whole number of pages. */
+constexpr std::uint64_t
+roundUpPages(std::uint64_t bytes)
+{
+    return (bytes + kPageSize - 1) / kPageSize;
+}
+
+/** Round @p v up to a multiple of @p align (a power of two). */
+constexpr std::uint64_t
+alignUp(std::uint64_t v, std::uint64_t align)
+{
+    return (v + align - 1) & ~(align - 1);
+}
+
+/** @return the page containing @p va. */
+constexpr PageId
+pageOf(VAddr va)
+{
+    return va / kPageSize;
+}
+
+/** @return the UM block containing @p va. */
+constexpr BlockId
+blockOf(VAddr va)
+{
+    return va / kBlockBytes;
+}
+
+/** @return the base VA of UM block @p b. */
+constexpr VAddr
+blockBase(BlockId b)
+{
+    return b * kBlockBytes;
+}
+
+/** @return the first UM block overlapping [va, va+bytes). */
+constexpr BlockId
+firstBlock(VAddr va, std::uint64_t /*bytes*/)
+{
+    return blockOf(va);
+}
+
+/** @return one past the last UM block overlapping [va, va+bytes). */
+constexpr BlockId
+endBlock(VAddr va, std::uint64_t bytes)
+{
+    return bytes == 0 ? blockOf(va) : blockOf(va + bytes - 1) + 1;
+}
+
+/**
+ * Number of bytes of [va, va+bytes) that fall inside UM block @p b.
+ * Exact (additive over disjoint sub-ranges), unlike pagesInBlock.
+ */
+constexpr std::uint64_t
+bytesInBlock(BlockId b, VAddr va, std::uint64_t bytes)
+{
+    VAddr lo = blockBase(b);
+    VAddr hi = lo + kBlockBytes;
+    VAddr s = va > lo ? va : lo;
+    VAddr e = (va + bytes) < hi ? (va + bytes) : hi;
+    return e <= s ? 0 : e - s;
+}
+
+/**
+ * Number of pages of [va, va+bytes) that fall inside UM block @p b.
+ * Returns 0 if the range does not overlap the block.
+ */
+constexpr std::uint64_t
+pagesInBlock(BlockId b, VAddr va, std::uint64_t bytes)
+{
+    VAddr lo = blockBase(b);
+    VAddr hi = lo + kBlockBytes;
+    VAddr s = va > lo ? va : lo;
+    VAddr e = (va + bytes) < hi ? (va + bytes) : hi;
+    if (e <= s)
+        return 0;
+    // Both tensors and blocks are page-aligned in this simulator, but
+    // round conservatively anyway.
+    return (e - s + kPageSize - 1) / kPageSize;
+}
+
+} // namespace deepum::mem

@@ -1,0 +1,34 @@
+#include "mem/frame_pool.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::mem {
+
+FramePool::FramePool(std::uint64_t total_pages)
+    : total_(total_pages), free_(total_pages)
+{
+}
+
+bool
+FramePool::reserve(std::uint64_t pages)
+{
+    if (pages > free_)
+        return false;
+    free_ -= pages;
+    if (usedPages() > peakUsed_)
+        peakUsed_ = usedPages();
+    return true;
+}
+
+void
+FramePool::release(std::uint64_t pages)
+{
+    if (free_ + pages > total_)
+        sim::panic("FramePool::release beyond capacity (%llu + %llu > %llu)",
+                   static_cast<unsigned long long>(free_),
+                   static_cast<unsigned long long>(pages),
+                   static_cast<unsigned long long>(total_));
+    free_ += pages;
+}
+
+} // namespace deepum::mem

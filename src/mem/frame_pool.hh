@@ -1,0 +1,46 @@
+/**
+ * @file
+ * GPU physical page-frame accounting.
+ *
+ * The NVIDIA driver tracks how many device frames are free and evicts
+ * when a faulted UM block cannot be populated (paper Figure 3 step 4).
+ * The simulator only needs the counts, not frame identities.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace deepum::mem {
+
+/** Counts free/used 4 KiB frames of the simulated GPU memory. */
+class FramePool
+{
+  public:
+    /** @param total_pages device memory capacity in pages */
+    explicit FramePool(std::uint64_t total_pages);
+
+    /**
+     * Take @p pages frames.
+     * @return true on success; false (and no change) if not enough
+     * frames are free.
+     */
+    bool reserve(std::uint64_t pages);
+
+    /** Return @p pages frames; over-release is a simulator bug. */
+    void release(std::uint64_t pages);
+
+    std::uint64_t totalPages() const { return total_; }
+    std::uint64_t freePages() const { return free_; }
+    std::uint64_t usedPages() const { return total_ - free_; }
+
+    /** High-watermark of used frames. */
+    std::uint64_t peakUsedPages() const { return peakUsed_; }
+
+  private:
+    std::uint64_t total_;
+    std::uint64_t free_;
+    std::uint64_t peakUsed_ = 0;
+};
+
+} // namespace deepum::mem

@@ -1,0 +1,95 @@
+#include "mem/va_space.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::mem {
+
+VaSpace::VaSpace(std::uint64_t capacity_bytes, VAddr base)
+    : base_(alignUp(base, kBlockBytes)),
+      capacity_(alignUp(capacity_bytes, kPageSize))
+{
+    free_.emplace(base_, capacity_);
+}
+
+VAddr
+VaSpace::allocate(std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return 0;
+    // Page-round the size; align the grant to a UM block boundary so
+    // BlockId arithmetic never straddles two allocations.
+    std::uint64_t size = alignUp(bytes, kPageSize);
+
+    for (auto it = free_.begin(); it != free_.end(); ++it) {
+        VAddr cand = alignUp(it->first, kBlockBytes);
+        std::uint64_t head_pad = cand - it->first;
+        if (it->second < head_pad + size)
+            continue;
+
+        VAddr range_base = it->first;
+        std::uint64_t range_size = it->second;
+        free_.erase(it);
+        if (head_pad > 0)
+            free_.emplace(range_base, head_pad);
+        std::uint64_t tail = range_size - head_pad - size;
+        if (tail > 0)
+            free_.emplace(cand + size, tail);
+
+        live_.emplace(cand, size);
+        usedBytes_ += size;
+        if (usedBytes_ > peakBytes_)
+            peakBytes_ = usedBytes_;
+        return cand;
+    }
+    return 0;
+}
+
+void
+VaSpace::release(VAddr va)
+{
+    auto it = live_.find(va);
+    if (it == live_.end())
+        sim::panic("VaSpace::release of unknown va 0x%llx",
+                   static_cast<unsigned long long>(va));
+    std::uint64_t size = it->second;
+    live_.erase(it);
+    usedBytes_ -= size;
+
+    // Insert and coalesce with neighbours.
+    auto [fit, ok] = free_.emplace(va, size);
+    DEEPUM_ASSERT(ok, "double free in VaSpace");
+
+    // Merge with successor.
+    auto next = std::next(fit);
+    if (next != free_.end() && fit->first + fit->second == next->first) {
+        fit->second += next->second;
+        free_.erase(next);
+    }
+    // Merge with predecessor.
+    if (fit != free_.begin()) {
+        auto prev = std::prev(fit);
+        if (prev->first + prev->second == fit->first) {
+            prev->second += fit->second;
+            free_.erase(fit);
+        }
+    }
+}
+
+std::uint64_t
+VaSpace::sizeOf(VAddr va) const
+{
+    auto it = live_.find(va);
+    return it == live_.end() ? 0 : it->second;
+}
+
+bool
+VaSpace::contains(VAddr va) const
+{
+    auto it = live_.upper_bound(va);
+    if (it == live_.begin())
+        return false;
+    --it;
+    return va < it->first + it->second;
+}
+
+} // namespace deepum::mem

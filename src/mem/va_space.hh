@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Virtual-address-space allocator for the UM heap.
+ *
+ * Models what cudaMallocManaged() hands out: 2 MiB-aligned ranges in
+ * a single shared address space. First-fit with coalescing on free.
+ * UM allocations can exceed GPU memory (that is the whole point of
+ * DeepUM); the only hard cap is the configured UM heap size, which
+ * stands in for host-backing-store capacity.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "mem/addr.hh"
+
+namespace deepum::mem {
+
+/**
+ * First-fit VA allocator with 2 MiB-aligned grants.
+ */
+class VaSpace
+{
+  public:
+    /**
+     * @param capacity_bytes total VA (== host backing) capacity
+     * @param base base address of the heap
+     */
+    explicit VaSpace(std::uint64_t capacity_bytes, VAddr base = kUmBase);
+
+    /**
+     * Allocate @p bytes (rounded up to whole pages), 2 MiB-aligned.
+     * @return the base VA, or 0 when the heap is exhausted.
+     */
+    VAddr allocate(std::uint64_t bytes);
+
+    /**
+     * Release a prior allocation. @p va must be an address returned
+     * by allocate() and not yet freed.
+     */
+    void release(VAddr va);
+
+    /** @return the byte size of the allocation at @p va, or 0. */
+    std::uint64_t sizeOf(VAddr va) const;
+
+    /** @return true if @p va lies inside a live allocation. */
+    bool contains(VAddr va) const;
+
+    /** Bytes currently allocated (page-rounded). */
+    std::uint64_t usedBytes() const { return usedBytes_; }
+
+    /** High-watermark of usedBytes(). */
+    std::uint64_t peakBytes() const { return peakBytes_; }
+
+    /** Total heap capacity in bytes. */
+    std::uint64_t capacityBytes() const { return capacity_; }
+
+    /** Number of live allocations. */
+    std::size_t liveAllocations() const { return live_.size(); }
+
+  private:
+    VAddr base_;
+    std::uint64_t capacity_;
+    std::uint64_t usedBytes_ = 0;
+    std::uint64_t peakBytes_ = 0;
+
+    /** Live allocations: base -> byte size (page-rounded). */
+    std::map<VAddr, std::uint64_t> live_;
+
+    /** Free ranges: base -> byte size, coalesced, address-ordered. */
+    std::map<VAddr, std::uint64_t> free_;
+};
+
+} // namespace deepum::mem

@@ -1,0 +1,173 @@
+#include "models/builder.hh"
+
+#include "mem/addr.hh"
+#include "sim/logging.hh"
+
+namespace deepum::models {
+
+namespace {
+
+/** FNV-1a over a byte span. */
+std::uint64_t
+fnv(std::uint64_t h, const void *data, std::size_t n)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+        h ^= p[i];
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+} // namespace
+
+NetBuilder::NetBuilder(std::string model, std::uint64_t batch,
+                       double ai_ns_per_byte)
+    : ai_(ai_ns_per_byte)
+{
+    tape_.modelName = std::move(model);
+    tape_.batchSize = batch;
+}
+
+torch::TensorId
+NetBuilder::declare(const std::string &name, std::uint64_t bytes,
+                    torch::TensorKind kind)
+{
+    DEEPUM_ASSERT(bytes > 0, "zero-size tensor %s", name.c_str());
+    tape_.tensors.push_back(torch::TensorDecl{name, bytes, kind});
+    return static_cast<torch::TensorId>(tape_.tensors.size() - 1);
+}
+
+Weight
+NetBuilder::weight(const std::string &name, std::uint64_t bytes)
+{
+    Weight w;
+    w.bytes = bytes;
+    w.param = declare(name + ".param", bytes, torch::TensorKind::Weight);
+    w.grad =
+        declare(name + ".grad", bytes, torch::TensorKind::Gradient);
+    w.m = declare(name + ".adam_m", bytes, torch::TensorKind::OptState);
+    w.v = declare(name + ".adam_v", bytes, torch::TensorKind::OptState);
+    for (torch::TensorId t : {w.param, w.grad, w.m, w.v}) {
+        tape_.prologue.push_back(
+            torch::TapeStep{torch::StepKind::Alloc, t, -1});
+    }
+    weights_.push_back(w);
+    return w;
+}
+
+torch::TensorId
+NetBuilder::persistent(const std::string &name, std::uint64_t bytes,
+                       torch::TensorKind kind)
+{
+    torch::TensorId t = declare(name, bytes, kind);
+    tape_.prologue.push_back(
+        torch::TapeStep{torch::StepKind::Alloc, t, -1});
+    return t;
+}
+
+torch::TensorId
+NetBuilder::transient(const std::string &name, std::uint64_t bytes,
+                      torch::TensorKind kind)
+{
+    return declare(name, bytes, kind);
+}
+
+void
+NetBuilder::alloc(torch::TensorId t)
+{
+    tape_.iteration.push_back(
+        torch::TapeStep{torch::StepKind::Alloc, t, -1});
+}
+
+void
+NetBuilder::release(torch::TensorId t)
+{
+    tape_.iteration.push_back(
+        torch::TapeStep{torch::StepKind::Free, t, -1});
+}
+
+std::uint64_t
+NetBuilder::bytesOf(const std::vector<torch::TensorUse> &uses,
+                    std::uint32_t gather_blocks) const
+{
+    std::uint64_t bytes =
+        std::uint64_t(gather_blocks) * mem::kBlockBytes;
+    for (const auto &u : uses)
+        bytes += tape_.tensors[u.tensor].bytes;
+    return bytes;
+}
+
+void
+NetBuilder::pushOp(torch::TapeOp op)
+{
+    // Argument hash: name + operand identities/sizes + batch. Stable
+    // across iterations so repeated launches share an execution ID.
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    h = fnv(h, op.name.data(), op.name.size());
+    h = fnv(h, &tape_.batchSize, sizeof(tape_.batchSize));
+    for (const auto &u : op.uses) {
+        h = fnv(h, &u.tensor, sizeof(u.tensor));
+        std::uint64_t b = tape_.tensors[u.tensor].bytes;
+        h = fnv(h, &b, sizeof(b));
+    }
+    op.argHash = h;
+    tape_.ops.push_back(std::move(op));
+    tape_.iteration.push_back(
+        torch::TapeStep{torch::StepKind::Launch, torch::kNoTensor,
+                        static_cast<std::int32_t>(tape_.ops.size() - 1)});
+}
+
+void
+NetBuilder::kernel(const std::string &name,
+                   const std::vector<torch::TensorId> &reads,
+                   const std::vector<torch::TensorId> &writes,
+                   double compute_scale)
+{
+    gatherKernel(name, torch::kNoTensor, 0, reads, writes,
+                 compute_scale);
+}
+
+void
+NetBuilder::gatherKernel(const std::string &name, torch::TensorId table,
+                         std::uint32_t gather_blocks,
+                         const std::vector<torch::TensorId> &reads,
+                         const std::vector<torch::TensorId> &writes,
+                         double compute_scale, bool gather_writes)
+{
+    torch::TapeOp op;
+    op.name = name;
+    for (torch::TensorId t : reads)
+        op.uses.push_back(torch::TensorUse{t, false});
+    for (torch::TensorId t : writes)
+        op.uses.push_back(torch::TensorUse{t, true});
+    op.gatherTensor = table;
+    op.gatherBlocks = gather_blocks;
+    op.gatherWrites = gather_writes;
+    op.computeNs = static_cast<sim::Tick>(
+        ai_ * compute_scale *
+        static_cast<double>(bytesOf(op.uses, gather_blocks)));
+    pushOp(std::move(op));
+}
+
+void
+NetBuilder::optStep(const Weight &w)
+{
+    kernel("adam_step", {w.grad}, {w.param, w.m, w.v}, 0.5);
+}
+
+void
+NetBuilder::optAll()
+{
+    for (const auto &w : weights_)
+        optStep(w);
+}
+
+torch::Tape
+NetBuilder::take()
+{
+    tape_.validate();
+    return std::move(tape_);
+}
+
+} // namespace deepum::models

@@ -1,0 +1,111 @@
+/**
+ * @file
+ * NetBuilder: a small DSL that compiles DNN training loops to Tapes.
+ *
+ * Models declare weights (which expand to parameter + gradient + two
+ * Adam-moment tensors, allocated once in the prologue) and transient
+ * tensors (activations/workspace, allocated and freed inside the
+ * iteration). Kernel helpers append launches whose compute time is
+ * derived from the bytes they touch times the model's arithmetic
+ * intensity — the knob that distinguishes compute-bound ResNets from
+ * bandwidth-bound DLRM.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** A parameter group: param + grad + Adam m/v. */
+struct Weight {
+    torch::TensorId param = torch::kNoTensor;
+    torch::TensorId grad = torch::kNoTensor;
+    torch::TensorId m = torch::kNoTensor;
+    torch::TensorId v = torch::kNoTensor;
+    std::uint64_t bytes = 0;
+};
+
+/** Compiles a model into a torch::Tape. */
+class NetBuilder
+{
+  public:
+    /**
+     * @param model model name recorded in the tape
+     * @param batch batch size (recorded; models fold it into sizes)
+     * @param ai_ns_per_byte compute ns per byte touched by a kernel
+     */
+    NetBuilder(std::string model, std::uint64_t batch,
+               double ai_ns_per_byte);
+
+    /** Declare a parameter group; prologue-allocates four tensors. */
+    Weight weight(const std::string &name, std::uint64_t bytes);
+
+    /**
+     * Declare a single persistent tensor (prologue-allocated); used
+     * for parameters without Adam state, e.g. DLRM embedding tables.
+     */
+    torch::TensorId
+    persistent(const std::string &name, std::uint64_t bytes,
+               torch::TensorKind kind = torch::TensorKind::Weight);
+
+    /** Declare a transient tensor (no steps emitted yet). */
+    torch::TensorId
+    transient(const std::string &name, std::uint64_t bytes,
+              torch::TensorKind kind = torch::TensorKind::Activation);
+
+    /** Emit an iteration-step allocation of @p t. */
+    void alloc(torch::TensorId t);
+
+    /** Emit an iteration-step free of @p t. */
+    void release(torch::TensorId t);
+
+    /**
+     * Emit a kernel launch touching @p reads then @p writes (in that
+     * order). @p compute_scale multiplies the AI-derived compute
+     * time (use >1 for FLOP-dense ops like conv).
+     */
+    void kernel(const std::string &name,
+                const std::vector<torch::TensorId> &reads,
+                const std::vector<torch::TensorId> &writes,
+                double compute_scale = 1.0);
+
+    /**
+     * Emit an irregular-gather kernel: touches @p gather_blocks
+     * random UM blocks of @p table (plus the regular operands).
+     */
+    void gatherKernel(const std::string &name, torch::TensorId table,
+                      std::uint32_t gather_blocks,
+                      const std::vector<torch::TensorId> &reads,
+                      const std::vector<torch::TensorId> &writes,
+                      double compute_scale = 1.0,
+                      bool gather_writes = false);
+
+    /** Emit the Adam update kernel for @p w. */
+    void optStep(const Weight &w);
+
+    /** Emit optimizer steps for every declared weight. */
+    void optAll();
+
+    /** Finalize and return the tape (builder becomes empty). */
+    torch::Tape take();
+
+  private:
+    torch::TensorId declare(const std::string &name,
+                            std::uint64_t bytes, torch::TensorKind kind);
+
+    void pushOp(torch::TapeOp op);
+
+    std::uint64_t bytesOf(const std::vector<torch::TensorUse> &uses,
+                          std::uint32_t gather_blocks) const;
+
+    torch::Tape tape_;
+    double ai_;
+    std::vector<Weight> weights_;
+};
+
+} // namespace deepum::models

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * DCGAN training workload (PyTorch examples; celebA).
+ *
+ * One iteration trains the discriminator on a real and a fake batch,
+ * then the generator through the discriminator — two optimizers, two
+ * distinct kernel streams, which exercises the execution ID table
+ * with a longer repeating period than a plain feed-forward net.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** Size description of the DCGAN variant. */
+struct DcganSpec {
+    std::string name = "dcgan";
+    std::uint32_t layers = 5; ///< per network (G and D)
+    std::uint64_t paramBytes = 0;
+    std::uint64_t actPerSampleBytes = 0;
+    double ai = 0.25;
+};
+
+/** Compile one training iteration of @p spec at @p batch. */
+torch::Tape buildDcgan(const DcganSpec &spec, std::uint64_t batch);
+
+DcganSpec dcganSpec();
+
+} // namespace deepum::models

@@ -1,0 +1,156 @@
+#include "models/dlrm.hh"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "models/builder.hh"
+#include "sim/types.hh"
+
+namespace deepum::models {
+
+using sim::kMiB;
+
+namespace {
+
+/**
+ * Embedding work is split over groups of tables, as real DLRM issues
+ * one gather per categorical feature: per-kernel working sets stay
+ * batch-proportionally small even when the summed activations are
+ * large.
+ */
+constexpr std::uint32_t kEmbChunks = 8;
+
+} // namespace
+
+torch::Tape
+buildDlrm(const DlrmSpec &spec, std::uint64_t batch)
+{
+    NetBuilder b(spec.name, batch, spec.ai);
+
+    // Embedding tables: plain parameters updated sparsely in place
+    // (no dense Adam state, as in real DLRM training).
+    torch::TensorId emb = b.persistent("embedding_tables",
+                                       spec.embedTableBytes);
+
+    // How many distinct UM blocks the per-iteration lookups touch:
+    // with millions of lookups over the tables, effectively all of
+    // them, in random order.
+    const std::uint32_t table_blocks = static_cast<std::uint32_t>(
+        mem::endBlock(0, spec.embedTableBytes));
+    const std::uint32_t gather_blocks = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(
+            table_blocks, std::max<std::uint64_t>(batch / 512, 8)));
+    const std::uint32_t chunk_gather = std::max<std::uint32_t>(
+        gather_blocks / kEmbChunks, 1);
+
+    const std::uint64_t mlp_bytes = spec.denseParamBytes / 7;
+    Weight bot0 = b.weight("bot_mlp0", mlp_bytes * 2);
+    Weight bot1 = b.weight("bot_mlp1", mlp_bytes);
+    Weight top0 = b.weight("top_mlp0", mlp_bytes * 2);
+    Weight top1 = b.weight("top_mlp1", mlp_bytes);
+    Weight top2 = b.weight("top_mlp2", mlp_bytes);
+
+    auto act_bytes = [&](double share) {
+        return std::max<std::uint64_t>(
+            static_cast<std::uint64_t>(
+                share * static_cast<double>(spec.actPerSampleBytes) *
+                static_cast<double>(batch)),
+            64 * 1024);
+    };
+
+    torch::TensorId dense_in = b.transient("dense_in", act_bytes(0.06),
+                                           torch::TensorKind::Input);
+    torch::TensorId sparse_in = b.transient(
+        "sparse_idx", act_bytes(0.03), torch::TensorKind::Input);
+    torch::TensorId a_bot = b.transient("a_bot", act_bytes(0.10));
+    torch::TensorId logits = b.transient("logits", act_bytes(0.05));
+    torch::TensorId g_int = b.transient("g_int", act_bytes(0.12));
+    torch::TensorId g_bot = b.transient("g_bot", act_bytes(0.10));
+
+    std::vector<torch::TensorId> emb_out(kEmbChunks), a_int(kEmbChunks),
+        g_emb(kEmbChunks);
+    for (std::uint32_t c = 0; c < kEmbChunks; ++c) {
+        std::string tag = std::to_string(c);
+        emb_out[c] =
+            b.transient("emb_out" + tag, act_bytes(0.40 / kEmbChunks));
+        a_int[c] =
+            b.transient("a_int" + tag, act_bytes(0.20 / kEmbChunks));
+        g_emb[c] =
+            b.transient("g_emb" + tag, act_bytes(0.40 / kEmbChunks));
+    }
+
+    // ---- forward -----------------------------------------------------
+    b.alloc(dense_in);
+    b.alloc(sparse_in);
+    b.alloc(a_bot);
+    b.kernel("bot_mlp_fwd0", {dense_in, bot0.param}, {a_bot});
+    b.kernel("bot_mlp_fwd1", {a_bot, bot1.param}, {a_bot});
+    for (std::uint32_t c = 0; c < kEmbChunks; ++c) {
+        b.alloc(emb_out[c]);
+        b.gatherKernel("emb_lookup" + std::to_string(c), emb,
+                       chunk_gather, {sparse_in}, {emb_out[c]});
+        b.alloc(a_int[c]);
+        b.kernel("interact" + std::to_string(c), {a_bot, emb_out[c]},
+                 {a_int[c]});
+    }
+    b.alloc(logits);
+    {
+        std::vector<torch::TensorId> reads = a_int;
+        reads.push_back(top0.param);
+        b.kernel("top_mlp_fwd0", reads, {logits});
+    }
+    b.kernel("top_mlp_fwd1", {logits, top1.param}, {logits});
+    b.kernel("top_mlp_fwd2", {logits, top2.param}, {logits});
+
+    // ---- backward ----------------------------------------------------
+    b.alloc(g_int);
+    {
+        std::vector<torch::TensorId> reads = a_int;
+        reads.insert(reads.end(),
+                     {logits, top0.param, top1.param, top2.param});
+        b.kernel("top_mlp_bwd", reads,
+                 {g_int, top0.grad, top1.grad, top2.grad}, 1.4);
+    }
+    b.release(logits);
+    b.alloc(g_bot);
+    for (std::uint32_t c = 0; c < kEmbChunks; ++c) {
+        b.alloc(g_emb[c]);
+        b.kernel("interact_bwd" + std::to_string(c),
+                 {g_int, a_bot, emb_out[c]}, {g_emb[c], g_bot}, 1.2);
+        b.release(a_int[c]);
+        b.release(emb_out[c]);
+        // Sparse in-place embedding update: another irregular gather.
+        b.gatherKernel("emb_scatter" + std::to_string(c), emb,
+                       chunk_gather, {g_emb[c], sparse_in}, {}, 1.0,
+                       /*gather_writes=*/true);
+        b.release(g_emb[c]);
+    }
+    b.release(g_int);
+    b.kernel("bot_mlp_bwd", {g_bot, dense_in, bot0.param, bot1.param},
+             {bot0.grad, bot1.grad}, 1.4);
+    b.release(g_bot);
+    b.release(a_bot);
+    b.release(sparse_in);
+    b.release(dense_in);
+
+    // ---- optimizer (dense weights only) -------------------------------
+    b.optAll();
+
+    return b.take();
+}
+
+DlrmSpec
+dlrmSpec()
+{
+    DlrmSpec s;
+    s.embedTableBytes = 48 * kMiB;
+    s.denseParamBytes = 5 * kMiB;
+    // Per-sample transient bytes across all activations (~1.6 KB).
+    s.actPerSampleBytes = 1638;
+    s.ai = 0.40;
+    return s;
+}
+
+} // namespace deepum::models

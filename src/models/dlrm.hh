@@ -1,0 +1,34 @@
+/**
+ * @file
+ * DLRM recommendation-model workload (MLPerf; Criteo Kaggle).
+ *
+ * Memory is dominated by embedding tables accessed through
+ * data-dependent gathers that change every iteration — the paper's
+ * negative result: correlation prefetching cannot learn the pattern,
+ * so DeepUM shows almost no speedup over naive UM (Figure 9).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** Size description of the DLRM variant. */
+struct DlrmSpec {
+    std::string name = "dlrm";
+    std::uint64_t embedTableBytes = 0; ///< total embedding storage
+    std::uint64_t denseParamBytes = 0; ///< bottom+top MLP parameters
+    std::uint64_t actPerSampleBytes = 0;
+    double ai = 0.40;
+};
+
+/** Compile one training iteration of @p spec at @p batch. */
+torch::Tape buildDlrm(const DlrmSpec &spec, std::uint64_t batch);
+
+DlrmSpec dlrmSpec();
+
+} // namespace deepum::models

@@ -1,0 +1,109 @@
+#include "models/mobilenet.hh"
+
+#include <vector>
+
+#include "models/builder.hh"
+#include "sim/types.hh"
+
+namespace deepum::models {
+
+using sim::kMiB;
+
+torch::Tape
+buildMobileNet(const MobileNetSpec &spec, std::uint64_t batch)
+{
+    NetBuilder b(spec.name, batch, spec.ai);
+
+    const std::uint32_t n = spec.blocks;
+    const std::uint64_t act_total = spec.actPerSampleBytes * batch;
+
+    struct Block {
+        Weight dw; ///< depthwise conv
+        Weight pw; ///< pointwise conv
+        torch::TensorId mid = torch::kNoTensor;
+        torch::TensorId out = torch::kNoTensor;
+        torch::TensorId gout = torch::kNoTensor;
+    };
+
+    std::vector<Block> blocks(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+        std::string tag = "blk" + std::to_string(i);
+        // Pointwise convs hold nearly all parameters.
+        blocks[i].dw =
+            b.weight(tag + ".dw",
+                     std::max<std::uint64_t>(
+                         spec.paramBytes / n / 9, 16 * 1024));
+        blocks[i].pw = b.weight(
+            tag + ".pw",
+            std::max<std::uint64_t>(spec.paramBytes / n, 16 * 1024));
+        std::uint64_t act = std::max<std::uint64_t>(
+            act_total / n, 64 * 1024);
+        blocks[i].mid = b.transient(tag + ".mid", act);
+        blocks[i].out = b.transient(tag + ".out", act);
+        blocks[i].gout = b.transient(tag + ".gout", act);
+    }
+
+    torch::TensorId input = b.transient(
+        "images", std::max<std::uint64_t>(act_total / 6, 64 * 1024),
+        torch::TensorKind::Input);
+    torch::TensorId logits = b.transient(
+        "logits", std::max<std::uint64_t>(batch * 512, 64 * 1024));
+    torch::TensorId glogits = b.transient(
+        "glogits", std::max<std::uint64_t>(batch * 512, 64 * 1024));
+    Weight fc = b.weight("fc", std::max<std::uint64_t>(
+                                   spec.paramBytes / 10, 64 * 1024));
+
+    // ---- forward -----------------------------------------------------
+    b.alloc(input);
+    torch::TensorId prev = input;
+    for (auto &blk : blocks) {
+        b.alloc(blk.mid);
+        b.kernel("dw_conv_fwd", {prev, blk.dw.param}, {blk.mid}, 1.2);
+        b.alloc(blk.out);
+        b.kernel("pw_conv_fwd", {blk.mid, blk.pw.param}, {blk.out},
+                 1.8);
+        prev = blk.out;
+    }
+    b.alloc(logits);
+    b.kernel("fc_fwd", {prev, fc.param}, {logits});
+    b.alloc(glogits);
+    b.kernel("loss", {logits}, {glogits}, 0.2);
+    b.release(logits);
+
+    // ---- backward ----------------------------------------------------
+    torch::TensorId gprev = glogits;
+    b.kernel("fc_bwd", {gprev, prev, fc.param}, {fc.grad});
+    for (std::size_t i = blocks.size(); i-- > 0;) {
+        Block &blk = blocks[i];
+        torch::TensorId below = i == 0 ? input : blocks[i - 1].out;
+        b.alloc(blk.gout);
+        b.kernel("sep_conv_bwd",
+                 {gprev, below, blk.mid, blk.dw.param, blk.pw.param},
+                 {blk.gout, blk.dw.grad, blk.pw.grad}, 2.0);
+        if (gprev != glogits)
+            b.release(gprev);
+        b.release(blk.out);
+        b.release(blk.mid);
+        gprev = blk.gout;
+    }
+    b.release(gprev);
+    b.release(glogits);
+    b.release(input);
+
+    // ---- optimizer ---------------------------------------------------
+    b.optAll();
+
+    return b.take();
+}
+
+MobileNetSpec
+mobileNetSpec()
+{
+    MobileNetSpec s;
+    s.paramBytes = 5 * kMiB;
+    s.actPerSampleBytes = 24 * 1024;
+    s.ai = 0.20;
+    return s;
+}
+
+} // namespace deepum::models

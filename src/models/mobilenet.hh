@@ -1,0 +1,34 @@
+/**
+ * @file
+ * MobileNet training workload (PyTorch examples; CIFAR-100).
+ *
+ * Depthwise-separable blocks: small parameters, shallow compute.
+ * The smallest model of the suite — oversubscription only sets in at
+ * large batch sizes (Fig. 13 / Table 7).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** Size description of the MobileNet variant. */
+struct MobileNetSpec {
+    std::string name = "mobilenet";
+    std::uint32_t blocks = 13;
+    std::uint64_t paramBytes = 0;
+    std::uint64_t actPerSampleBytes = 0;
+    double ai = 0.20;
+};
+
+/** Compile one training iteration of @p spec at @p batch. */
+torch::Tape buildMobileNet(const MobileNetSpec &spec,
+                           std::uint64_t batch);
+
+MobileNetSpec mobileNetSpec();
+
+} // namespace deepum::models

@@ -1,0 +1,84 @@
+#include "models/registry.hh"
+
+#include <functional>
+#include <map>
+
+#include "models/dcgan.hh"
+#include "models/dlrm.hh"
+#include "models/mobilenet.hh"
+#include "models/resnet.hh"
+#include "models/transformer.hh"
+#include "sim/logging.hh"
+
+namespace deepum::models {
+
+namespace {
+
+using BuildFn = std::function<torch::Tape(std::uint64_t)>;
+
+const std::map<std::string, BuildFn> &
+table()
+{
+    static const std::map<std::string, BuildFn> t = {
+        {"gpt2-xl",
+         [](std::uint64_t b) { return buildTransformer(gpt2XlSpec(), b); }},
+        {"gpt2-l",
+         [](std::uint64_t b) { return buildTransformer(gpt2LSpec(), b); }},
+        {"bert-large",
+         [](std::uint64_t b) {
+             return buildTransformer(bertLargeSpec(), b);
+         }},
+        {"bert-base",
+         [](std::uint64_t b) {
+             return buildTransformer(bertBaseSpec(), b);
+         }},
+        {"bert-large-cola",
+         [](std::uint64_t b) {
+             return buildTransformer(bertLargeColaSpec(), b);
+         }},
+        {"dlrm", [](std::uint64_t b) { return buildDlrm(dlrmSpec(), b); }},
+        {"resnet152",
+         [](std::uint64_t b) { return buildResNet(resnet152Spec(), b); }},
+        {"resnet200",
+         [](std::uint64_t b) { return buildResNet(resnet200Spec(), b); }},
+        {"resnet200-cifar",
+         [](std::uint64_t b) {
+             return buildResNet(resnet200CifarSpec(), b);
+         }},
+        {"dcgan",
+         [](std::uint64_t b) { return buildDcgan(dcganSpec(), b); }},
+        {"mobilenet",
+         [](std::uint64_t b) {
+             return buildMobileNet(mobileNetSpec(), b);
+         }},
+    };
+    return t;
+}
+
+} // namespace
+
+std::vector<std::string>
+modelNames()
+{
+    std::vector<std::string> names;
+    for (const auto &[name, fn] : table())
+        names.push_back(name);
+    return names;
+}
+
+bool
+haveModel(const std::string &name)
+{
+    return table().count(name) != 0;
+}
+
+torch::Tape
+buildModel(const std::string &name, std::uint64_t batch)
+{
+    auto it = table().find(name);
+    if (it == table().end())
+        sim::fatal("unknown model: %s", name.c_str());
+    return it->second(batch);
+}
+
+} // namespace deepum::models

@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Model registry: build any paper workload by name.
+ *
+ * Names match Table 2 of the paper, plus the dataset variants used
+ * by Figure 13 / Table 7 (CoLA, CIFAR).
+ */
+
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** All registered model names. */
+std::vector<std::string> modelNames();
+
+/** True if @p name is a registered model. */
+bool haveModel(const std::string &name);
+
+/**
+ * Build the named model at @p batch.
+ * fatal()s on an unknown name (user error).
+ */
+torch::Tape buildModel(const std::string &name, std::uint64_t batch);
+
+} // namespace deepum::models

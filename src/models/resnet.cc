@@ -1,0 +1,169 @@
+#include "models/resnet.hh"
+
+#include <vector>
+
+#include "models/builder.hh"
+#include "sim/types.hh"
+
+namespace deepum::models {
+
+using sim::kMiB;
+
+namespace {
+
+/** Parameter share per stage (deeper stages hold more channels^2). */
+constexpr double kParamShare[4] = {0.04, 0.14, 0.57, 0.25};
+
+/** Activation share per stage (early stages have big spatial dims). */
+constexpr double kActShare[4] = {0.42, 0.27, 0.22, 0.09};
+
+} // namespace
+
+torch::Tape
+buildResNet(const ResNetSpec &spec, std::uint64_t batch)
+{
+    NetBuilder b(spec.name, batch, spec.ai);
+
+    struct Block {
+        Weight w;
+        torch::TensorId act = torch::kNoTensor;  ///< block output
+        torch::TensorId gact = torch::kNoTensor; ///< its gradient
+    };
+
+    std::uint32_t total_blocks = 0;
+    for (std::uint32_t n : spec.blocks)
+        total_blocks += n;
+
+    // Stem + classifier hold a small parameter share.
+    const std::uint64_t stem_bytes = spec.paramBytes / 50;
+    const std::uint64_t body_bytes = spec.paramBytes - 2 * stem_bytes;
+
+    Weight stem = b.weight("stem", stem_bytes);
+    Weight fc = b.weight("fc", stem_bytes);
+
+    std::vector<Block> blocks;
+    blocks.reserve(total_blocks);
+    for (int stage = 0; stage < 4; ++stage) {
+        std::uint64_t stage_param = static_cast<std::uint64_t>(
+            kParamShare[stage] * static_cast<double>(body_bytes));
+        std::uint64_t stage_act = static_cast<std::uint64_t>(
+            kActShare[stage] *
+            static_cast<double>(spec.actPerSampleBytes) *
+            static_cast<double>(batch));
+        std::uint32_t n = spec.blocks[stage];
+        for (std::uint32_t i = 0; i < n; ++i) {
+            Block blk;
+            std::string tag = "s" + std::to_string(stage) + "b" +
+                              std::to_string(i);
+            blk.w = b.weight(tag, std::max<std::uint64_t>(
+                                      stage_param / n, 64 * 1024));
+            blk.act = b.transient(
+                tag + ".act",
+                std::max<std::uint64_t>(stage_act / n, 64 * 1024));
+            blk.gact = b.transient(
+                tag + ".gact",
+                std::max<std::uint64_t>(stage_act / n, 64 * 1024));
+            blocks.push_back(blk);
+        }
+    }
+
+    torch::TensorId input = b.transient(
+        "images",
+        std::max<std::uint64_t>(batch * spec.actPerSampleBytes / 16,
+                                256 * 1024),
+        torch::TensorKind::Input);
+    torch::TensorId stem_act = b.transient(
+        "stem.act", std::max<std::uint64_t>(
+                        batch * spec.actPerSampleBytes / 10, 256 * 1024));
+    torch::TensorId logits = b.transient(
+        "logits", std::max<std::uint64_t>(batch * 4096, 64 * 1024));
+    torch::TensorId glogits = b.transient(
+        "glogits", std::max<std::uint64_t>(batch * 4096, 64 * 1024));
+
+    // ---- forward -----------------------------------------------------
+    b.alloc(input);
+    b.alloc(stem_act);
+    b.kernel("stem_conv", {input, stem.param}, {stem_act}, 2.0);
+
+    torch::TensorId prev = stem_act;
+    for (auto &blk : blocks) {
+        b.alloc(blk.act);
+        // Bottleneck conv stack; the skip connection re-reads prev.
+        b.kernel("res_convs", {prev, blk.w.param}, {blk.act}, 2.2);
+        b.kernel("bn_relu_add", {prev, blk.act}, {blk.act}, 0.3);
+        prev = blk.act;
+    }
+    b.alloc(logits);
+    b.kernel("fc_fwd", {prev, fc.param}, {logits});
+    b.alloc(glogits);
+    b.kernel("loss", {logits}, {glogits}, 0.2);
+    b.release(logits);
+
+    // ---- backward ----------------------------------------------------
+    torch::TensorId gprev = glogits;
+    b.kernel("fc_bwd", {gprev, prev, fc.param}, {fc.grad});
+    for (std::size_t bi = blocks.size(); bi-- > 0;) {
+        Block &blk = blocks[bi];
+        torch::TensorId below =
+            bi == 0 ? stem_act : blocks[bi - 1].act;
+        b.alloc(blk.gact);
+        // cuDNN splits the conv backward into a data-gradient and a
+        // filter-gradient kernel; both re-read the saved activations,
+        // which is what makes ResNet training re-touch its footprint
+        // many times per iteration.
+        b.kernel("res_bwd_data", {gprev, blk.act, blk.w.param},
+                 {blk.gact}, 2.4);
+        b.kernel("res_bwd_filter", {gprev, below, blk.act},
+                 {blk.w.grad}, 2.4);
+        if (gprev != glogits)
+            b.release(gprev); // the gradient we just consumed
+        b.release(blk.act);
+        gprev = blk.gact;
+    }
+    b.kernel("stem_bwd", {gprev, input, stem.param}, {stem.grad}, 2.0);
+    b.release(gprev);
+    b.release(glogits);
+    b.release(stem_act);
+    b.release(input);
+
+    // ---- optimizer ---------------------------------------------------
+    b.optAll();
+
+    return b.take();
+}
+
+ResNetSpec
+resnet152Spec()
+{
+    ResNetSpec s;
+    s.name = "resnet152";
+    s.blocks = {3, 8, 36, 3};
+    s.paramBytes = 10 * kMiB;
+    s.actPerSampleBytes = 266 * 1024;
+    s.ai = 0.05;
+    return s;
+}
+
+ResNetSpec
+resnet200Spec()
+{
+    ResNetSpec s;
+    s.name = "resnet200";
+    s.blocks = {3, 24, 36, 3};
+    s.paramBytes = 12 * kMiB;
+    s.actPerSampleBytes = 306 * 1024;
+    s.ai = 0.05;
+    return s;
+}
+
+ResNetSpec
+resnet200CifarSpec()
+{
+    ResNetSpec s = resnet200Spec();
+    s.name = "resnet200-cifar";
+    // 32x32 images: ~50x smaller activations than ImageNet crops.
+    s.actPerSampleBytes = 24 * 1024;
+    return s;
+}
+
+} // namespace deepum::models

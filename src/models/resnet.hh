@@ -1,0 +1,40 @@
+/**
+ * @file
+ * ResNet training workloads (ResNet152/200; ImageNet and CIFAR-10).
+ *
+ * Bottleneck residual blocks in four stages. Convolutions are
+ * FLOP-dense, so ResNets are the compute-bound end of the paper's
+ * spectrum: with prefetching the migrations hide almost entirely
+ * under conv time, which is where DeepUM's largest speedups come
+ * from (paper Figure 9).
+ */
+
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** Size description of one ResNet variant. */
+struct ResNetSpec {
+    std::string name;
+    std::array<std::uint32_t, 4> blocks{3, 8, 36, 3}; ///< per stage
+    std::uint64_t paramBytes = 0;
+    std::uint64_t actPerSampleBytes = 0;
+    double ai = 0.05;
+};
+
+/** Compile one training iteration of @p spec at @p batch. */
+torch::Tape buildResNet(const ResNetSpec &spec, std::uint64_t batch);
+
+ResNetSpec resnet152Spec();
+ResNetSpec resnet200Spec();
+
+/** ResNet200 on CIFAR-10 (tiny images) for Fig. 13 / Table 7. */
+ResNetSpec resnet200CifarSpec();
+
+} // namespace deepum::models

@@ -1,0 +1,158 @@
+#include "models/transformer.hh"
+
+#include <vector>
+
+#include "models/builder.hh"
+#include "sim/types.hh"
+
+namespace deepum::models {
+
+using sim::kMiB;
+
+torch::Tape
+buildTransformer(const TransformerSpec &spec, std::uint64_t batch)
+{
+    NetBuilder b(spec.name, batch, spec.ai);
+
+    const std::uint32_t L = spec.layers;
+    const std::uint64_t embed_bytes = static_cast<std::uint64_t>(
+        spec.embedFrac * static_cast<double>(spec.paramBytes));
+    const std::uint64_t layer_bytes =
+        (spec.paramBytes - embed_bytes) / L;
+    const std::uint64_t attn_bytes = layer_bytes * 2 / 5;
+    const std::uint64_t mlp_bytes = layer_bytes - attn_bytes;
+
+    // Saved activations per layer: the block output (h) plus the
+    // attention/MLP intermediates kept for backward (s).
+    const std::uint64_t act_layer =
+        spec.actPerSampleBytes / L * batch;
+    const std::uint64_t h_bytes = act_layer * 3 / 5;
+    const std::uint64_t s_bytes = act_layer - h_bytes;
+
+    // Weights.
+    Weight emb = b.weight("embed", embed_bytes);
+    std::vector<Weight> attn(L), mlp(L);
+    for (std::uint32_t i = 0; i < L; ++i) {
+        attn[i] = b.weight("layer" + std::to_string(i) + ".attn",
+                           attn_bytes);
+        mlp[i] = b.weight("layer" + std::to_string(i) + ".mlp",
+                          mlp_bytes);
+    }
+
+    // Transient tensors.
+    torch::TensorId input =
+        b.transient("input_ids", std::max<std::uint64_t>(batch * 4096, 4096),
+                    torch::TensorKind::Input);
+    std::vector<torch::TensorId> h(L + 1), s(L);
+    std::vector<torch::TensorId> gh(L + 1), gs(L);
+    h[0] = b.transient("h0", h_bytes);
+    gh[L] = b.transient("gh" + std::to_string(L), h_bytes);
+    for (std::uint32_t i = 0; i < L; ++i) {
+        h[i + 1] = b.transient("h" + std::to_string(i + 1), h_bytes);
+        s[i] = b.transient("s" + std::to_string(i), s_bytes);
+        if (i > 0)
+            gh[i] = b.transient("gh" + std::to_string(i), h_bytes);
+        gs[i] = b.transient("gs" + std::to_string(i), s_bytes);
+    }
+
+    // ---- forward -----------------------------------------------------
+    b.alloc(input);
+    b.alloc(h[0]);
+    b.kernel("embed_fwd", {emb.param, input}, {h[0]});
+    for (std::uint32_t i = 0; i < L; ++i) {
+        b.alloc(s[i]);
+        b.kernel("attn_fwd", {h[i], attn[i].param}, {s[i]});
+        b.alloc(h[i + 1]);
+        b.kernel("mlp_fwd", {s[i], mlp[i].param}, {h[i + 1]});
+    }
+    b.alloc(gh[L]);
+    b.kernel("loss_and_grad", {h[L], emb.param}, {gh[L]}, 0.6);
+
+    // ---- backward ----------------------------------------------------
+    for (std::uint32_t i = L; i-- > 0;) {
+        b.alloc(gs[i]);
+        b.kernel("mlp_bwd", {gh[i + 1], s[i], mlp[i].param},
+                 {gs[i], mlp[i].grad}, 1.4);
+        b.release(h[i + 1]);
+        b.release(gh[i + 1]);
+        if (i > 0)
+            b.alloc(gh[i]);
+        if (i > 0) {
+            b.kernel("attn_bwd", {gs[i], h[i], attn[i].param},
+                     {gh[i], attn[i].grad}, 1.4);
+        } else {
+            b.kernel("attn_bwd0", {gs[i], h[i], attn[i].param},
+                     {attn[i].grad}, 1.4);
+        }
+        b.release(s[i]);
+        b.release(gs[i]);
+    }
+    b.kernel("embed_bwd", {h[0], input}, {emb.grad});
+    b.release(h[0]);
+    b.release(input);
+
+    // ---- optimizer ---------------------------------------------------
+    b.optAll();
+
+    return b.take();
+}
+
+TransformerSpec
+gpt2XlSpec()
+{
+    TransformerSpec s;
+    s.name = "gpt2-xl";
+    s.layers = 48;
+    s.paramBytes = 30 * kMiB;
+    s.actPerSampleBytes = 70 * kMiB;
+    s.ai = 0.15;
+    return s;
+}
+
+TransformerSpec
+gpt2LSpec()
+{
+    TransformerSpec s;
+    s.name = "gpt2-l";
+    s.layers = 36;
+    s.paramBytes = 20 * kMiB;
+    s.actPerSampleBytes = 60 * kMiB;
+    s.ai = 0.15;
+    return s;
+}
+
+TransformerSpec
+bertLargeSpec()
+{
+    TransformerSpec s;
+    s.name = "bert-large";
+    s.layers = 24;
+    s.paramBytes = 15 * kMiB;
+    s.actPerSampleBytes = 16 * kMiB;
+    s.ai = 0.15;
+    return s;
+}
+
+TransformerSpec
+bertBaseSpec()
+{
+    TransformerSpec s;
+    s.name = "bert-base";
+    s.layers = 12;
+    s.paramBytes = 6 * kMiB;
+    s.actPerSampleBytes = 7 * kMiB + 256 * 1024;
+    s.ai = 0.15;
+    return s;
+}
+
+TransformerSpec
+bertLargeColaSpec()
+{
+    TransformerSpec s = bertLargeSpec();
+    s.name = "bert-large-cola";
+    // CoLA sentences are short: far smaller per-sample activations.
+    s.actPerSampleBytes = 2 * kMiB + 512 * 1024;
+    return s;
+}
+
+} // namespace deepum::models

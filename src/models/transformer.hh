@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Generic transformer training workload (GPT-2 XL/L, BERT L/B).
+ *
+ * Decoder/encoder distinction does not matter to the memory system;
+ * what matters is the repeated per-layer kernel sequence, the
+ * iteration-scoped activations saved for backward, and the Adam
+ * state attached to every weight. Specs are scaled to 1/128 of the
+ * paper's memory footprints (DESIGN.md Section 5).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "torch/tape.hh"
+
+namespace deepum::models {
+
+/** Size/shape description of one transformer variant. */
+struct TransformerSpec {
+    std::string name;             ///< model name
+    std::uint32_t layers = 12;    ///< transformer blocks
+    std::uint64_t paramBytes = 0; ///< total parameter bytes
+    std::uint64_t actPerSampleBytes = 0; ///< saved acts per sample
+    double ai = 0.09;             ///< compute ns per byte touched
+    double embedFrac = 0.10;      ///< parameter share in embeddings
+};
+
+/** Compile one training iteration of @p spec at @p batch. */
+torch::Tape buildTransformer(const TransformerSpec &spec,
+                             std::uint64_t batch);
+
+/** Paper model configurations (Table 2), at simulator scale. */
+TransformerSpec gpt2XlSpec();
+TransformerSpec gpt2LSpec();
+TransformerSpec bertLargeSpec();
+TransformerSpec bertBaseSpec();
+
+/** BERT Large on GLUE CoLA (short sequences) for Fig. 13 / Table 7. */
+TransformerSpec bertLargeColaSpec();
+
+} // namespace deepum::models

@@ -1,0 +1,48 @@
+#include "sim/event_queue.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::sim {
+
+void
+EventQueue::schedule(Tick when, EventFn fn)
+{
+    if (when < curTick_)
+        panic("scheduling event in the past: %llu < %llu",
+              static_cast<unsigned long long>(when),
+              static_cast<unsigned long long>(curTick_));
+    events_.push(Entry{when, nextSeq_++, std::move(fn)});
+}
+
+bool
+EventQueue::step()
+{
+    if (events_.empty())
+        return false;
+    // std::priority_queue::top() is const; move out via const_cast is
+    // UB-adjacent, so copy the small fields and swap the callback.
+    Entry e = std::move(const_cast<Entry &>(events_.top()));
+    events_.pop();
+    curTick_ = e.when;
+    ++executed_;
+    e.fn();
+    return true;
+}
+
+Tick
+EventQueue::run(std::uint64_t limit)
+{
+    std::uint64_t n = 0;
+    while (n < limit && step())
+        ++n;
+    return curTick_;
+}
+
+void
+EventQueue::clear()
+{
+    while (!events_.empty())
+        events_.pop();
+}
+
+} // namespace deepum::sim

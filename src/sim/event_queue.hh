@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Deterministic discrete-event queue.
+ *
+ * Events are std::function callbacks ordered by (tick, sequence
+ * number); the sequence number makes simultaneous events run in
+ * scheduling order, so identical inputs always produce identical
+ * simulations. This is the spine every simulated component (GPU,
+ * driver threads, PCIe link) hangs off.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deepum::sim {
+
+/** Callback type executed when an event fires. */
+using EventFn = std::function<void()>;
+
+/**
+ * A priority queue of timed callbacks with a deterministic tie-break.
+ *
+ * Components schedule closures at absolute or relative ticks; run()
+ * drains the queue, advancing the simulated clock monotonically.
+ */
+class EventQueue
+{
+  public:
+    EventQueue() = default;
+    EventQueue(const EventQueue &) = delete;
+    EventQueue &operator=(const EventQueue &) = delete;
+
+    /** @return the current simulated time. */
+    Tick now() const { return curTick_; }
+
+    /**
+     * Schedule @p fn at absolute tick @p when.
+     * Scheduling in the past is a simulator bug.
+     */
+    void schedule(Tick when, EventFn fn);
+
+    /** Schedule @p fn @p delay ticks from now. */
+    void scheduleIn(Tick delay, EventFn fn) { schedule(curTick_ + delay, std::move(fn)); }
+
+    /** @return true if no events remain. */
+    bool empty() const { return events_.empty(); }
+
+    /** @return number of pending events. */
+    std::size_t pending() const { return events_.size(); }
+
+    /** Total number of events executed so far. */
+    std::uint64_t executed() const { return executed_; }
+
+    /**
+     * Run until the queue drains or @p limit events have executed.
+     * @return the final simulated time.
+     */
+    Tick run(std::uint64_t limit = ~std::uint64_t(0));
+
+    /**
+     * Execute at most one event.
+     * @return true if an event was executed.
+     */
+    bool step();
+
+    /** Drop all pending events (used between independent runs). */
+    void clear();
+
+  private:
+    struct Entry {
+        Tick when;
+        std::uint64_t seq;
+        EventFn fn;
+    };
+
+    struct Later {
+        bool
+        operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    Tick curTick_ = 0;
+    std::uint64_t nextSeq_ = 0;
+    std::uint64_t executed_ = 0;
+};
+
+} // namespace deepum::sim

@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Small deterministic PRNG (SplitMix64).
+ *
+ * Used wherever the simulation needs randomness (DLRM embedding
+ * lookups, stress tests). Seeded explicitly so that runs are
+ * reproducible bit-for-bit.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace deepum::sim {
+
+/** SplitMix64: tiny, fast, and statistically solid for our needs. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL)
+        : state_(seed)
+    {
+    }
+
+    /** @return the next raw 64-bit value. */
+    std::uint64_t
+    next()
+    {
+        std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+        z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+        z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+        return z ^ (z >> 31);
+    }
+
+    /** @return a value uniform in [0, bound); bound must be nonzero. */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        return next() % bound;
+    }
+
+    /** @return a double uniform in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+  private:
+    std::uint64_t state_;
+};
+
+} // namespace deepum::sim

@@ -1,0 +1,12 @@
+#include "sim/sim_object.hh"
+
+namespace deepum::sim {
+
+SimObject::SimObject(EventQueue &eq, std::string name)
+    : eq_(eq), name_(std::move(name))
+{
+}
+
+SimObject::~SimObject() = default;
+
+} // namespace deepum::sim

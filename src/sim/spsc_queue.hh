@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Bounded single-producer/single-consumer ring queue.
+ *
+ * The paper's fault queue and prefetch queue are SPSC queues between
+ * the DeepUM driver's kernel threads (Section 3.1). The simulator is
+ * single-threaded, so no atomics are needed — the value of this class
+ * is the bounded-ring semantics (capacity, overflow accounting) and a
+ * single audited implementation for both queues.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "sim/logging.hh"
+
+namespace deepum::sim {
+
+/** Fixed-capacity FIFO ring. */
+template <typename T>
+class SpscQueue
+{
+  public:
+    /** @param capacity maximum queued elements (>= 1) */
+    explicit SpscQueue(std::size_t capacity)
+        : buf_(capacity + 1)
+    {
+        DEEPUM_ASSERT(capacity >= 1, "SpscQueue capacity must be >= 1");
+    }
+
+    /** @return true if the element was enqueued (false when full). */
+    bool
+    push(const T &v)
+    {
+        std::size_t next = inc(tail_);
+        if (next == head_) {
+            ++dropped_;
+            return false;
+        }
+        buf_[tail_] = v;
+        tail_ = next;
+        ++pushed_;
+        return true;
+    }
+
+    /** Dequeue into @p out. @return false when empty. */
+    bool
+    pop(T &out)
+    {
+        if (empty())
+            return false;
+        out = buf_[head_];
+        head_ = inc(head_);
+        return true;
+    }
+
+    /** Peek at the front element; queue must not be empty. */
+    const T &
+    front() const
+    {
+        DEEPUM_ASSERT(!empty(), "front() on empty SpscQueue");
+        return buf_[head_];
+    }
+
+    bool empty() const { return head_ == tail_; }
+
+    std::size_t
+    size() const
+    {
+        return tail_ >= head_ ? tail_ - head_
+                              : buf_.size() - head_ + tail_;
+    }
+
+    std::size_t capacity() const { return buf_.size() - 1; }
+
+    /** Total successful pushes. */
+    std::uint64_t pushed() const { return pushed_; }
+
+    /** Pushes rejected because the ring was full. */
+    std::uint64_t dropped() const { return dropped_; }
+
+    /** Remove every element. */
+    void clear() { head_ = tail_ = 0; }
+
+  private:
+    std::size_t
+    inc(std::size_t i) const
+    {
+        return (i + 1) % buf_.size();
+    }
+
+    std::vector<T> buf_;
+    std::size_t head_ = 0;
+    std::size_t tail_ = 0;
+    std::uint64_t pushed_ = 0;
+    std::uint64_t dropped_ = 0;
+};
+
+} // namespace deepum::sim

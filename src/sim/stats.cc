@@ -1,0 +1,57 @@
+#include "sim/stats.hh"
+
+#include <iomanip>
+
+#include "sim/logging.hh"
+
+namespace deepum::sim {
+
+Scalar::Scalar(StatSet &set, std::string name, std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    set.add(this);
+}
+
+void
+StatSet::add(Scalar *s)
+{
+    auto [it, inserted] = stats_.emplace(s->name(), s);
+    if (!inserted)
+        panic("duplicate stat name: %s", s->name().c_str());
+}
+
+std::uint64_t
+StatSet::get(const std::string &name) const
+{
+    auto it = stats_.find(name);
+    if (it == stats_.end()) {
+        warn("unknown stat queried: %s", name.c_str());
+        return 0;
+    }
+    return it->second->value();
+}
+
+bool
+StatSet::has(const std::string &name) const
+{
+    return stats_.count(name) != 0;
+}
+
+void
+StatSet::resetAll()
+{
+    for (auto &[name, s] : stats_)
+        s->reset();
+}
+
+void
+StatSet::dump(std::ostream &os) const
+{
+    for (const auto &[name, s] : stats_) {
+        os << std::left << std::setw(44) << name << ' '
+           << std::right << std::setw(16) << s->value()
+           << "  # " << s->desc() << '\n';
+    }
+}
+
+} // namespace deepum::sim

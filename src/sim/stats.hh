@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Minimal statistics package.
+ *
+ * Components own Scalar counters registered into a StatSet; the set
+ * can be dumped as text or queried by name in tests and benches.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <ostream>
+#include <string>
+
+namespace deepum::sim {
+
+class StatSet;
+
+/**
+ * A named 64-bit counter with a description.
+ *
+ * Scalars register themselves with a StatSet on construction; the
+ * StatSet must outlive its scalars.
+ */
+class Scalar
+{
+  public:
+    /**
+     * @param set owning statistics set
+     * @param name dotted stat name, e.g. "uvm.pageFaults"
+     * @param desc one-line description shown in dumps
+     */
+    Scalar(StatSet &set, std::string name, std::string desc);
+
+    Scalar(const Scalar &) = delete;
+    Scalar &operator=(const Scalar &) = delete;
+
+    Scalar &operator++() { ++value_; return *this; }
+    Scalar &operator+=(std::uint64_t v) { value_ += v; return *this; }
+
+    /** Explicitly set the value (for sampled stats like peaks). */
+    void set(std::uint64_t v) { value_ = v; }
+
+    /** Raise to @p v if larger (for high-watermark stats). */
+    void
+    max(std::uint64_t v)
+    {
+        if (v > value_)
+            value_ = v;
+    }
+
+    std::uint64_t value() const { return value_; }
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+    /** Reset to zero (between measurement windows). */
+    void reset() { value_ = 0; }
+
+  private:
+    std::string name_;
+    std::string desc_;
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A registry of scalars that supports lookup, reset, and dumping.
+ */
+class StatSet
+{
+  public:
+    StatSet() = default;
+    StatSet(const StatSet &) = delete;
+    StatSet &operator=(const StatSet &) = delete;
+
+    /** Register @p s; called by the Scalar constructor. */
+    void add(Scalar *s);
+
+    /**
+     * Look up a stat by exact name.
+     * @return the value, or 0 and a warning if missing.
+     */
+    std::uint64_t get(const std::string &name) const;
+
+    /** @return true if a stat with @p name exists. */
+    bool has(const std::string &name) const;
+
+    /** Zero every registered scalar. */
+    void resetAll();
+
+    /** Write "name value # desc" lines, sorted by name. */
+    void dump(std::ostream &os) const;
+
+    /** Access the full map (name -> scalar) for iteration. */
+    const std::map<std::string, Scalar *> &all() const { return stats_; }
+
+  private:
+    std::map<std::string, Scalar *> stats_;
+};
+
+} // namespace deepum::sim

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Fundamental scalar types and time units for the DeepUM simulator.
+ *
+ * The whole reproduction runs on a deterministic discrete-event
+ * simulation. One Tick equals one simulated nanosecond.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+namespace deepum::sim {
+
+/** Simulated time. One tick is one nanosecond. */
+using Tick = std::uint64_t;
+
+/** Largest representable tick, used as "never". */
+constexpr Tick kMaxTick = ~Tick(0);
+
+/** Ticks per microsecond. */
+constexpr Tick kUsec = 1000;
+
+/** Ticks per millisecond. */
+constexpr Tick kMsec = 1000 * kUsec;
+
+/** Ticks per second. */
+constexpr Tick kSec = 1000 * kMsec;
+
+/** Convert a tick count to (double) seconds. */
+constexpr double
+ticksToSeconds(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kSec);
+}
+
+/** Convert a tick count to (double) milliseconds. */
+constexpr double
+ticksToMs(Tick t)
+{
+    return static_cast<double>(t) / static_cast<double>(kMsec);
+}
+
+/** Bytes per kibibyte/mebibyte/gibibyte. */
+constexpr std::uint64_t kKiB = 1024;
+constexpr std::uint64_t kMiB = 1024 * kKiB;
+constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+} // namespace deepum::sim

@@ -1,0 +1,252 @@
+#include "torch/allocator.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::torch {
+
+CachingAllocator::CachingAllocator(SegmentSource &src,
+                                   sim::StatSet &stats)
+    : src_(src),
+      allocs_(stats, "torch.allocs", "PT-block allocations served"),
+      frees_(stats, "torch.frees", "PT-block frees"),
+      splits_(stats, "torch.splits", "PT-block splits"),
+      merges_(stats, "torch.merges", "PT-block coalesces"),
+      segmentsAllocated_(stats, "torch.segmentsAllocated",
+                         "segments requested from the source"),
+      segmentsReleased_(stats, "torch.segmentsReleased",
+                        "segments returned to the source"),
+      cacheFlushes_(stats, "torch.cacheFlushes",
+                    "emptyCache() retry passes"),
+      oomEvents_(stats, "torch.oomEvents",
+                 "allocation failures after retry"),
+      peakActiveBytes_(stats, "torch.peakActiveBytes",
+                       "high-watermark of active bytes"),
+      peakReservedBytes_(stats, "torch.peakReservedBytes",
+                         "high-watermark of reserved bytes")
+{
+}
+
+CachingAllocator::~CachingAllocator()
+{
+    // Tear down bookkeeping only; the source may already be gone at
+    // simulation teardown, so segments are not handed back here.
+    auto destroy_pool = [](Pool &pool) {
+        for (PtBlock *b : pool)
+            delete b;
+        pool.clear();
+    };
+    destroy_pool(small_);
+    destroy_pool(large_);
+    for (auto &[va, b] : activeMap_)
+        delete b;
+    activeMap_.clear();
+}
+
+std::uint64_t
+CachingAllocator::roundSize(std::uint64_t size)
+{
+    if (size < kMinBlockSize)
+        return kMinBlockSize;
+    return mem::alignUp(size, kMinBlockSize);
+}
+
+std::uint64_t
+CachingAllocator::segmentSizeFor(std::uint64_t rounded)
+{
+    if (rounded <= kSmallSize)
+        return kSmallBuffer;
+    if (rounded < kMinLargeAlloc)
+        return kLargeBuffer;
+    return mem::alignUp(rounded, kRoundLarge);
+}
+
+CachingAllocator::Pool &
+CachingAllocator::poolFor(PoolKind kind)
+{
+    return kind == PoolKind::Small ? small_ : large_;
+}
+
+CachingAllocator::PtBlock *
+CachingAllocator::findFree(PoolKind kind, std::uint64_t rounded)
+{
+    Pool &pool = poolFor(kind);
+    PtBlock key;
+    key.size = rounded;
+    key.addr = 0;
+    auto it = pool.lower_bound(&key);
+    if (it == pool.end())
+        return nullptr;
+    PtBlock *b = *it;
+    pool.erase(it);
+    return b;
+}
+
+CachingAllocator::PtBlock *
+CachingAllocator::allocSegmentBlock(PoolKind kind, std::uint64_t rounded)
+{
+    std::uint64_t seg_size = segmentSizeFor(rounded);
+    mem::VAddr va = src_.allocSegment(seg_size);
+    if (va == 0) {
+        // PyTorch behaviour: flush the cache and retry once.
+        ++cacheFlushes_;
+        emptyCache();
+        va = src_.allocSegment(seg_size);
+    }
+    if (va == 0)
+        return nullptr;
+
+    segments_.emplace(va, seg_size);
+    ++segmentsAllocated_;
+    reservedBytes_ += seg_size;
+    peakReservedBytes_.max(reservedBytes_);
+
+    auto *b = new PtBlock;
+    b->addr = va;
+    b->size = seg_size;
+    b->pool = kind;
+    b->segBase = va;
+    // The fresh segment is pool cache until handed out.
+    src_.noteInactive(va, seg_size, true);
+    cachedBytes_ += seg_size;
+    return b;
+}
+
+void
+CachingAllocator::maybeSplit(PtBlock *b, std::uint64_t rounded)
+{
+    std::uint64_t remainder = b->size - rounded;
+    bool should_split = b->pool == PoolKind::Small
+                            ? remainder >= kMinBlockSize
+                            : remainder > kSmallSize;
+    if (!should_split)
+        return;
+
+    auto *rest = new PtBlock;
+    rest->addr = b->addr + rounded;
+    rest->size = remainder;
+    rest->pool = b->pool;
+    rest->segBase = b->segBase;
+    rest->prev = b;
+    rest->next = b->next;
+    if (b->next != nullptr)
+        b->next->prev = rest;
+    b->next = rest;
+    b->size = rounded;
+
+    poolFor(rest->pool).insert(rest);
+    ++splits_;
+}
+
+mem::VAddr
+CachingAllocator::malloc(std::uint64_t size)
+{
+    std::uint64_t rounded = roundSize(size);
+    PoolKind kind =
+        rounded <= kSmallSize ? PoolKind::Small : PoolKind::Large;
+
+    PtBlock *b = findFree(kind, rounded);
+    if (b == nullptr)
+        b = allocSegmentBlock(kind, rounded);
+    if (b == nullptr) {
+        ++oomEvents_;
+        return 0;
+    }
+
+    maybeSplit(b, rounded);
+
+    b->active = true;
+    activeMap_.emplace(b->addr, b);
+    src_.noteInactive(b->addr, b->size, false);
+    cachedBytes_ -= b->size;
+    activeBytes_ += b->size;
+    peakActiveBytes_.max(activeBytes_);
+    ++allocs_;
+    return b->addr;
+}
+
+CachingAllocator::PtBlock *
+CachingAllocator::tryMerge(PtBlock *b, PtBlock *neighbour)
+{
+    if (neighbour == nullptr || neighbour->active)
+        return b;
+    // Keep the lower-addressed block as the survivor.
+    PtBlock *lo = b->addr < neighbour->addr ? b : neighbour;
+    PtBlock *hi = lo == b ? neighbour : b;
+    poolFor(neighbour->pool).erase(neighbour);
+    lo->size += hi->size;
+    lo->next = hi->next;
+    if (hi->next != nullptr)
+        hi->next->prev = lo;
+    delete hi;
+    ++merges_;
+    return lo;
+}
+
+void
+CachingAllocator::free(mem::VAddr va)
+{
+    auto it = activeMap_.find(va);
+    if (it == activeMap_.end())
+        sim::panic("CachingAllocator::free of unknown va 0x%llx",
+                   static_cast<unsigned long long>(va));
+    PtBlock *b = it->second;
+    activeMap_.erase(it);
+
+    b->active = false;
+    src_.noteInactive(b->addr, b->size, true);
+    activeBytes_ -= b->size;
+    cachedBytes_ += b->size;
+    ++frees_;
+
+    b = tryMerge(b, b->prev);
+    b = tryMerge(b, b->next);
+    poolFor(b->pool).insert(b);
+}
+
+std::uint64_t
+CachingAllocator::sizeOf(mem::VAddr va) const
+{
+    auto it = activeMap_.find(va);
+    return it == activeMap_.end() ? 0 : it->second->size;
+}
+
+void
+CachingAllocator::emptyCache()
+{
+    auto sweep = [this](Pool &pool) {
+        for (auto it = pool.begin(); it != pool.end();) {
+            PtBlock *b = *it;
+            bool whole_segment = b->prev == nullptr &&
+                                 b->next == nullptr &&
+                                 b->addr == b->segBase;
+            if (!whole_segment) {
+                ++it;
+                continue;
+            }
+            it = pool.erase(it);
+            auto seg = segments_.find(b->segBase);
+            DEEPUM_ASSERT(seg != segments_.end(),
+                          "pool block without a segment");
+            DEEPUM_ASSERT(seg->second == b->size,
+                          "whole-segment block size mismatch");
+            cachedBytes_ -= b->size;
+            reservedBytes_ -= b->size;
+            segments_.erase(seg);
+            // Balance the inactive ledger before the range vanishes.
+            src_.noteInactive(b->addr, b->size, false);
+            src_.freeSegment(b->addr);
+            ++segmentsReleased_;
+            delete b;
+        }
+    };
+    sweep(small_);
+    sweep(large_);
+}
+
+std::size_t
+CachingAllocator::poolBlockCount(PoolKind pool) const
+{
+    return pool == PoolKind::Small ? small_.size() : large_.size();
+}
+
+} // namespace deepum::torch

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * PyTorch-style caching GPU allocator (paper Section 5.2).
+ *
+ * Reproduces the CUDACachingAllocator rules that matter to DeepUM:
+ *  - sizes round up to 512-byte multiples;
+ *  - requests <= 1 MiB come from the *small* pool (2 MiB segments),
+ *    larger ones from the *large* pool (20 MiB segments, or the
+ *    rounded request when >= 10 MiB);
+ *  - smallest-fit within a pool; blocks split when the remainder is
+ *    usable; adjacent inactive blocks coalesce on free;
+ *  - on segment-allocation failure the cache is emptied and the
+ *    request retried before reporting out-of-memory.
+ *
+ * Every active/inactive transition is reported through the
+ * SegmentSource — the hook DeepUM's invalidation optimization needs.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <unordered_map>
+
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+#include "torch/segment_source.hh"
+
+namespace deepum::torch {
+
+/** Which pool a PT block belongs to. */
+enum class PoolKind : std::uint8_t { Small, Large };
+
+/** Allocator size constants (mirroring PyTorch). */
+constexpr std::uint64_t kMinBlockSize = 512;
+constexpr std::uint64_t kSmallSize = 1 * sim::kMiB;
+constexpr std::uint64_t kSmallBuffer = 2 * sim::kMiB;
+constexpr std::uint64_t kLargeBuffer = 20 * sim::kMiB;
+constexpr std::uint64_t kMinLargeAlloc = 10 * sim::kMiB;
+constexpr std::uint64_t kRoundLarge = 2 * sim::kMiB;
+
+/** The caching allocator. */
+class CachingAllocator
+{
+  public:
+    CachingAllocator(SegmentSource &src, sim::StatSet &stats);
+    ~CachingAllocator();
+
+    CachingAllocator(const CachingAllocator &) = delete;
+    CachingAllocator &operator=(const CachingAllocator &) = delete;
+
+    /**
+     * Allocate @p size bytes.
+     * @return the PT block base VA, or 0 on out-of-memory (after an
+     * emptyCache() retry).
+     */
+    mem::VAddr malloc(std::uint64_t size);
+
+    /** Return the PT block at @p va to its pool (marks it inactive). */
+    void free(mem::VAddr va);
+
+    /** Rounded size of the active PT block at @p va (0 if unknown). */
+    std::uint64_t sizeOf(mem::VAddr va) const;
+
+    /** Release every fully-free cached segment back to the source. */
+    void emptyCache();
+
+    /** Rounding helpers, exposed for tests. */
+    static std::uint64_t roundSize(std::uint64_t size);
+    static std::uint64_t segmentSizeFor(std::uint64_t rounded);
+
+    // Introspection -------------------------------------------------
+
+    std::uint64_t activeBytes() const { return activeBytes_; }
+    std::uint64_t cachedBytes() const { return cachedBytes_; }
+    std::uint64_t reservedBytes() const { return reservedBytes_; }
+    std::size_t activeBlockCount() const { return activeMap_.size(); }
+    std::size_t segmentCount() const { return segments_.size(); }
+
+    /** Free pool blocks in a pool (tests). */
+    std::size_t poolBlockCount(PoolKind pool) const;
+
+  private:
+    struct PtBlock {
+        mem::VAddr addr = 0;
+        std::uint64_t size = 0;
+        bool active = false;
+        PoolKind pool = PoolKind::Large;
+        PtBlock *prev = nullptr; ///< neighbour within the segment
+        PtBlock *next = nullptr;
+        mem::VAddr segBase = 0;
+    };
+
+    struct SizeAddrLess {
+        bool
+        operator()(const PtBlock *a, const PtBlock *b) const
+        {
+            if (a->size != b->size)
+                return a->size < b->size;
+            return a->addr < b->addr;
+        }
+    };
+
+    using Pool = std::set<PtBlock *, SizeAddrLess>;
+
+    Pool &poolFor(PoolKind kind);
+
+    /** Smallest free block >= @p rounded, or nullptr. */
+    PtBlock *findFree(PoolKind kind, std::uint64_t rounded);
+
+    /** Grab a fresh segment from the source (with retry-after-empty). */
+    PtBlock *allocSegmentBlock(PoolKind kind, std::uint64_t rounded);
+
+    /** Split @p b so it is exactly @p rounded, pooling the tail. */
+    void maybeSplit(PtBlock *b, std::uint64_t rounded);
+
+    /** Merge @p b with an inactive neighbour; returns the survivor. */
+    PtBlock *tryMerge(PtBlock *b, PtBlock *neighbour);
+
+    SegmentSource &src_;
+
+    Pool small_;
+    Pool large_;
+    std::unordered_map<mem::VAddr, PtBlock *> activeMap_;
+    std::map<mem::VAddr, std::uint64_t> segments_; ///< base -> size
+
+    std::uint64_t activeBytes_ = 0;
+    std::uint64_t cachedBytes_ = 0;
+    std::uint64_t reservedBytes_ = 0;
+
+    sim::Scalar allocs_;
+    sim::Scalar frees_;
+    sim::Scalar splits_;
+    sim::Scalar merges_;
+    sim::Scalar segmentsAllocated_;
+    sim::Scalar segmentsReleased_;
+    sim::Scalar cacheFlushes_;
+    sim::Scalar oomEvents_;
+    sim::Scalar peakActiveBytes_;
+    sim::Scalar peakReservedBytes_;
+};
+
+} // namespace deepum::torch

@@ -1,0 +1,112 @@
+#include "torch/tape.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::torch {
+
+namespace {
+
+bool
+isPersistent(TensorKind k)
+{
+    return k == TensorKind::Weight || k == TensorKind::Gradient ||
+           k == TensorKind::OptState;
+}
+
+} // namespace
+
+std::uint64_t
+Tape::persistentBytes() const
+{
+    std::uint64_t bytes = 0;
+    for (const auto &t : tensors)
+        if (isPersistent(t.kind))
+            bytes += t.bytes;
+    return bytes;
+}
+
+std::uint64_t
+Tape::peakTransientBytes() const
+{
+    std::uint64_t live = 0;
+    std::uint64_t peak = 0;
+    for (const auto &s : iteration) {
+        if (s.kind == StepKind::Alloc) {
+            live += tensors[s.tensor].bytes;
+            if (live > peak)
+                peak = live;
+        } else if (s.kind == StepKind::Free) {
+            live -= tensors[s.tensor].bytes;
+        }
+    }
+    return peak;
+}
+
+std::uint64_t
+Tape::footprintBytes() const
+{
+    return persistentBytes() + peakTransientBytes();
+}
+
+sim::Tick
+Tape::iterationComputeNs() const
+{
+    sim::Tick t = 0;
+    for (const auto &s : iteration)
+        if (s.kind == StepKind::Launch)
+            t += ops[s.opIndex].computeNs;
+    return t;
+}
+
+std::size_t
+Tape::launchesPerIteration() const
+{
+    std::size_t n = 0;
+    for (const auto &s : iteration)
+        if (s.kind == StepKind::Launch)
+            ++n;
+    return n;
+}
+
+void
+Tape::validate() const
+{
+    auto check_steps = [this](const std::vector<TapeStep> &steps,
+                              const char *which) {
+        for (const auto &s : steps) {
+            switch (s.kind) {
+              case StepKind::Alloc:
+              case StepKind::Free:
+                if (s.tensor < 0 ||
+                    static_cast<std::size_t>(s.tensor) >= tensors.size())
+                    sim::panic("tape %s: bad tensor id %d", which,
+                               s.tensor);
+                break;
+              case StepKind::Launch:
+                if (s.opIndex < 0 ||
+                    static_cast<std::size_t>(s.opIndex) >= ops.size())
+                    sim::panic("tape %s: bad op index %d", which,
+                               s.opIndex);
+                break;
+            }
+        }
+    };
+    check_steps(prologue, "prologue");
+    check_steps(iteration, "iteration");
+
+    for (const auto &op : ops) {
+        for (const auto &u : op.uses) {
+            if (u.tensor < 0 ||
+                static_cast<std::size_t>(u.tensor) >= tensors.size())
+                sim::panic("tape op %s: bad tensor use %d",
+                           op.name.c_str(), u.tensor);
+        }
+        if (op.gatherTensor != kNoTensor &&
+            (op.gatherTensor < 0 ||
+             static_cast<std::size_t>(op.gatherTensor) >= tensors.size()))
+            sim::panic("tape op %s: bad gather tensor %d",
+                       op.name.c_str(), op.gatherTensor);
+    }
+}
+
+} // namespace deepum::torch

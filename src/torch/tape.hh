@@ -1,0 +1,110 @@
+/**
+ * @file
+ * The training tape: one iteration's worth of allocator operations
+ * and kernel launches, in program order.
+ *
+ * Models (models/) compile to a Tape; a harness::Session replays the
+ * prologue once (persistent weights, optimizer state) and the
+ * iteration steps repeatedly. Tensors are symbolic until the session
+ * binds them to PT blocks via the caching allocator, which is what
+ * makes the addresses — and therefore the correlation tables —
+ * repeat across iterations exactly like real PyTorch training.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deepum::torch {
+
+/** Symbolic tensor index within a tape. */
+using TensorId = std::int32_t;
+constexpr TensorId kNoTensor = -1;
+
+/** Why a tensor exists; drives stats and baseline policies. */
+enum class TensorKind : std::uint8_t {
+    Weight,     ///< model parameter (persistent)
+    Gradient,   ///< parameter gradient (persistent buffer)
+    OptState,   ///< optimizer state, e.g. Adam moments (persistent)
+    Activation, ///< forward activation (iteration-scoped)
+    Workspace,  ///< scratch (iteration-scoped)
+    Input,      ///< minibatch input (iteration-scoped)
+};
+
+/** Declared tensor. */
+struct TensorDecl {
+    std::string name;
+    std::uint64_t bytes = 0;
+    TensorKind kind = TensorKind::Workspace;
+};
+
+/** One tensor operand of a kernel. */
+struct TensorUse {
+    TensorId tensor = kNoTensor;
+    bool write = false;
+};
+
+/** One kernel in the tape. */
+struct TapeOp {
+    std::string name;          ///< kernel symbol name
+    std::uint64_t argHash = 0; ///< argument hash (execution ID input)
+    sim::Tick computeNs = 0;   ///< pure compute time
+    std::vector<TensorUse> uses;
+
+    /**
+     * Irregular access: touch @c gatherBlocks random UM blocks of
+     * @c gatherTensor instead of the tensor's full range (DLRM
+     * embedding lookups). kNoTensor disables gathering.
+     */
+    TensorId gatherTensor = kNoTensor;
+    std::uint32_t gatherBlocks = 0;
+    bool gatherWrites = false; ///< gather is a scatter-update
+};
+
+/** Step kinds executed by the session. */
+enum class StepKind : std::uint8_t {
+    Alloc,  ///< allocator.malloc for a tensor
+    Free,   ///< allocator.free for a tensor
+    Launch, ///< launch ops[opIndex]
+};
+
+/** One step of the prologue or the iteration body. */
+struct TapeStep {
+    StepKind kind = StepKind::Launch;
+    TensorId tensor = kNoTensor; ///< for Alloc/Free
+    std::int32_t opIndex = -1;   ///< for Launch
+};
+
+/** A compiled model. */
+struct Tape {
+    std::string modelName;
+    std::uint64_t batchSize = 0;
+    std::vector<TensorDecl> tensors;
+    std::vector<TapeOp> ops;
+    std::vector<TapeStep> prologue;  ///< run once
+    std::vector<TapeStep> iteration; ///< run per training iteration
+
+    /** Bytes of all persistent tensors (weights/grads/opt state). */
+    std::uint64_t persistentBytes() const;
+
+    /** Peak bytes of iteration-scoped tensors live at once. */
+    std::uint64_t peakTransientBytes() const;
+
+    /** persistentBytes() + peakTransientBytes(): the footprint. */
+    std::uint64_t footprintBytes() const;
+
+    /** Total compute ticks of one iteration. */
+    sim::Tick iterationComputeNs() const;
+
+    /** Number of kernel launches per iteration. */
+    std::size_t launchesPerIteration() const;
+
+    /** Sanity-check step/tensor/op indices; panics on corruption. */
+    void validate() const;
+};
+
+} // namespace deepum::torch

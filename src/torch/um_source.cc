@@ -1,0 +1,24 @@
+#include "torch/um_source.hh"
+
+namespace deepum::torch {
+
+mem::VAddr
+UmSegmentSource::allocSegment(std::uint64_t bytes)
+{
+    return rt_.allocManaged(bytes);
+}
+
+void
+UmSegmentSource::freeSegment(mem::VAddr va)
+{
+    rt_.freeManaged(va);
+}
+
+void
+UmSegmentSource::noteInactive(mem::VAddr va, std::uint64_t bytes,
+                              bool inactive)
+{
+    rt_.markInactive(va, bytes, inactive);
+}
+
+} // namespace deepum::torch

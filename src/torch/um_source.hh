@@ -1,0 +1,28 @@
+/**
+ * @file
+ * Segment source backed by the UM heap through the DeepUM runtime.
+ */
+
+#pragma once
+
+#include "core/runtime.hh"
+#include "torch/segment_source.hh"
+
+namespace deepum::torch {
+
+/** Routes allocator segments to cudaMallocManaged + driver hooks. */
+class UmSegmentSource : public SegmentSource
+{
+  public:
+    explicit UmSegmentSource(core::Runtime &rt) : rt_(rt) {}
+
+    mem::VAddr allocSegment(std::uint64_t bytes) override;
+    void freeSegment(mem::VAddr va) override;
+    void noteInactive(mem::VAddr va, std::uint64_t bytes,
+                      bool inactive) override;
+
+  private:
+    core::Runtime &rt_;
+};
+
+} // namespace deepum::torch

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Per-UM-block driver state.
+ */
+
+#pragma once
+
+#include <cstdint>
+
+#include "mem/addr.hh"
+// mem::kPageSize is used by BlockInfo::fullyInactive().
+
+namespace deepum::uvm {
+
+/** Sentinel for "no block". */
+constexpr mem::BlockId kNoBlock = ~mem::BlockId(0);
+
+/** Where a UM block's backing data currently lives. */
+enum class Loc : std::uint8_t {
+    Unpopulated, ///< never touched, or invalidated; zero-fill on fault
+    Device,      ///< resident in GPU memory
+    Host,        ///< evicted/backed in CPU memory
+};
+
+/** Everything the driver tracks about one UM block. */
+struct BlockInfo {
+    std::uint32_t pages = 0;         ///< populated pages in this block
+    Loc loc = Loc::Unpopulated;      ///< current backing location
+    /**
+     * Bytes covered by inactive PyTorch blocks. Byte-granular
+     * because PT blocks are 512-byte aligned, so several can share
+     * one page; bytes stay exactly additive.
+     */
+    std::uint64_t inactiveBytes = 0;
+    bool prefetched = false;         ///< resident via prefetch, not yet used
+    std::uint32_t prefetchExecId = 0; ///< exec ID that predicted it
+    bool queuedFault = false;        ///< sitting in the fault queue
+    bool queuedPrefetch = false;     ///< sitting in the prefetch queue
+    std::uint64_t migrateSeq = 0;    ///< global order of last migration
+
+    /** Every populated byte belongs to an inactive PyTorch block. */
+    bool
+    fullyInactive() const
+    {
+        return pages > 0 &&
+               inactiveBytes >= std::uint64_t(pages) * mem::kPageSize;
+    }
+};
+
+} // namespace deepum::uvm

@@ -1,0 +1,534 @@
+#include "uvm/driver.hh"
+
+#include <algorithm>
+
+#include "sim/logging.hh"
+
+namespace deepum::uvm {
+
+namespace {
+
+/// Depth of the demand fault queue (blocks, deduped).
+constexpr std::size_t kFaultQueueDepth = 8192;
+
+/// Depth of the prefetch queue; overflow is counted and dropped.
+constexpr std::size_t kPrefetchQueueDepth = 1 << 16;
+
+} // namespace
+
+Driver::Driver(sim::EventQueue &eq, const gpu::TimingConfig &cfg,
+               gpu::FaultBuffer &fb, gpu::PcieLink &link,
+               mem::FramePool &frames, sim::StatSet &stats)
+    : SimObject(eq, "uvm.driver"),
+      cfg_(cfg),
+      fb_(fb),
+      link_(link),
+      frames_(frames),
+      faultQueue_(kFaultQueueDepth),
+      prefetchQueue_(kPrefetchQueueDepth),
+      policy_(std::make_unique<LruMigratedPolicy>()),
+      pageFaults_(stats, "uvm.pageFaults",
+                  "pages covered by faulted accesses"),
+      faultBatches_(stats, "uvm.faultBatches",
+                    "fault-buffer drain/preprocess passes"),
+      faultedBlocks_(stats, "uvm.faultedBlocks",
+                     "deduped faulted UM blocks"),
+      migratedBlocks_(stats, "uvm.migratedBlocks",
+                      "UM blocks migrated host->device"),
+      migratedPages_(stats, "uvm.migratedPages",
+                     "pages migrated host->device"),
+      zeroFillBlocks_(stats, "uvm.zeroFillBlocks",
+                      "blocks populated by zero-fill (first touch)"),
+      evictedBlocks_(stats, "uvm.evictedBlocks",
+                     "UM blocks written back device->host"),
+      evictedPages_(stats, "uvm.evictedPages",
+                    "pages written back device->host"),
+      invalidatedBlocks_(stats, "uvm.invalidatedBlocks",
+                         "victim blocks dropped without write-back"),
+      demandEvictions_(stats, "uvm.demandEvictions",
+                       "evictions on the fault critical path"),
+      preEvictions_(stats, "uvm.preEvictions",
+                    "evictions performed off the fault path"),
+      prefetchIssued_(stats, "uvm.prefetchIssued",
+                      "prefetch commands accepted into the queue"),
+      prefetchCompleted_(stats, "uvm.prefetchCompleted",
+                         "prefetch migrations completed"),
+      prefetchDropped_(stats, "uvm.prefetchDropped",
+                       "prefetch commands dropped as stale/duplicate"),
+      prefetchUseful_(stats, "uvm.prefetchUseful",
+                      "prefetched blocks later touched by the GPU"),
+      prefetchWasted_(stats, "uvm.prefetchWasted",
+                      "prefetched blocks evicted before any use"),
+      replaysSent_(stats, "uvm.replaysSent",
+                   "replay signals sent to the GPU")
+{
+}
+
+Driver::~Driver() = default;
+
+void
+Driver::setEvictionPolicy(std::unique_ptr<EvictionPolicy> p)
+{
+    DEEPUM_ASSERT(p != nullptr, "null eviction policy");
+    policy_ = std::move(p);
+}
+
+// --------------------------------------------------------------------
+// Address-space management
+// --------------------------------------------------------------------
+
+void
+Driver::registerRange(mem::VAddr va, std::uint64_t bytes)
+{
+    if (bytes == 0)
+        return;
+    for (mem::BlockId b = mem::firstBlock(va, bytes),
+                      e = mem::endBlock(va, bytes);
+         b != e; ++b) {
+        BlockInfo bi;
+        bi.pages = static_cast<std::uint32_t>(
+            mem::pagesInBlock(b, va, bytes));
+        auto [it, inserted] = blocks_.emplace(b, bi);
+        (void)it;
+        if (!inserted)
+            sim::panic("registerRange: block %llu already registered",
+                       static_cast<unsigned long long>(b));
+    }
+}
+
+void
+Driver::unregisterRange(mem::VAddr va, std::uint64_t bytes)
+{
+    for (mem::BlockId b = mem::firstBlock(va, bytes),
+                      e = mem::endBlock(va, bytes);
+         b != e; ++b) {
+        auto it = blocks_.find(b);
+        if (it == blocks_.end())
+            sim::panic("unregisterRange: unknown block %llu",
+                       static_cast<unsigned long long>(b));
+        if (it->second.loc == Loc::Device) {
+            frames_.release(it->second.pages);
+            auto lp = lruPos_.find(b);
+            if (lp != lruPos_.end()) {
+                lru_.erase(lp->second);
+                lruPos_.erase(lp);
+            }
+        }
+        outstanding_.erase(b);
+        blocks_.erase(it);
+    }
+}
+
+void
+Driver::markInactiveRange(mem::VAddr va, std::uint64_t bytes,
+                          bool inactive)
+{
+    if (bytes == 0)
+        return;
+    for (mem::BlockId b = mem::firstBlock(va, bytes),
+                      e = mem::endBlock(va, bytes);
+         b != e; ++b) {
+        auto it = blocks_.find(b);
+        if (it == blocks_.end())
+            sim::panic("markInactiveRange: unknown block %llu",
+                       static_cast<unsigned long long>(b));
+        std::uint64_t n = mem::bytesInBlock(b, va, bytes);
+        if (inactive) {
+            it->second.inactiveBytes += n;
+            DEEPUM_ASSERT(it->second.inactiveBytes <=
+                              std::uint64_t(it->second.pages) *
+                                  mem::kPageSize,
+                          "inactive bytes exceed block bytes");
+        } else {
+            DEEPUM_ASSERT(it->second.inactiveBytes >= n,
+                          "activating bytes that were not inactive");
+            it->second.inactiveBytes -= n;
+        }
+    }
+}
+
+// --------------------------------------------------------------------
+// Prefetch and pre-eviction interfaces
+// --------------------------------------------------------------------
+
+bool
+Driver::enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return false;
+    BlockInfo &bi = it->second;
+    if (bi.loc == Loc::Device || bi.queuedPrefetch || bi.queuedFault)
+        return false;
+    if (!prefetchQueue_.push(MigrateCmd{block, exec_id}))
+        return false;
+    bi.queuedPrefetch = true;
+    ++prefetchIssued_;
+    if (!migBusy_) {
+        migBusy_ = true;
+        scheduleIn(0, [this] { migrationStep(); });
+    }
+    return true;
+}
+
+bool
+Driver::preEvictOne()
+{
+    if (migBusy_ || !faultQueue_.empty() || !prefetchQueue_.empty())
+        return false;
+    mem::BlockId victim = policy_->pickVictim(*this, /*demand=*/false);
+    if (victim == kNoBlock)
+        return false;
+
+    migBusy_ = true;
+    sim::Tick t = curTick();
+    evictBlock(victim, t, /*demand=*/false);
+    ++preEvictions_;
+    eventq().schedule(t, [this] {
+        migBusy_ = false;
+        if (!faultQueue_.empty() || !prefetchQueue_.empty()) {
+            migBusy_ = true;
+            migrationStep();
+        } else {
+            for (auto *l : listeners_)
+                l->onMigrationIdle();
+        }
+    });
+    return true;
+}
+
+// --------------------------------------------------------------------
+// Queries
+// --------------------------------------------------------------------
+
+const BlockInfo &
+Driver::blockInfo(mem::BlockId b) const
+{
+    auto it = blocks_.find(b);
+    if (it == blocks_.end())
+        sim::panic("blockInfo: unknown block %llu",
+                   static_cast<unsigned long long>(b));
+    return it->second;
+}
+
+// --------------------------------------------------------------------
+// gpu::UvmBackend
+// --------------------------------------------------------------------
+
+bool
+Driver::isResident(mem::BlockId block) const
+{
+    auto it = blocks_.find(block);
+    return it != blocks_.end() && it->second.loc == Loc::Device;
+}
+
+void
+Driver::faultInterrupt()
+{
+    if (faultHandlerPending_)
+        return;
+    faultHandlerPending_ = true;
+    scheduleIn(cfg_.faultInterruptLatency, [this] { handleFaults(); });
+}
+
+void
+Driver::onKernelBegin(const gpu::KernelInfo &k)
+{
+    for (auto *l : listeners_)
+        l->onKernelBegin(k);
+}
+
+void
+Driver::onKernelEnd(const gpu::KernelInfo &k)
+{
+    for (auto *l : listeners_)
+        l->onKernelEnd(k);
+}
+
+void
+Driver::onBlockAccess(mem::BlockId block)
+{
+    auto it = blocks_.find(block);
+    if (it == blocks_.end())
+        return;
+    if (it->second.prefetched) {
+        it->second.prefetched = false;
+        ++prefetchUseful_;
+        for (auto *l : listeners_)
+            l->onPrefetchUseful(block, it->second.prefetchExecId);
+    }
+    for (auto *l : listeners_)
+        l->onBlockAccessed(block);
+}
+
+// --------------------------------------------------------------------
+// Fault-handling thread
+// --------------------------------------------------------------------
+
+void
+Driver::handleFaults()
+{
+    faultHandlerPending_ = false;
+    auto entries = fb_.drain();
+    if (entries.empty())
+        return;
+
+    ++faultBatches_;
+
+    // Step 2 of Figure 3: dedupe entries and group them by UM block,
+    // preserving first-fault order.
+    std::vector<mem::BlockId> ordered;
+    std::unordered_set<mem::BlockId> seen;
+    std::uint64_t pages = 0;
+    for (const auto &e : entries) {
+        pages += e.pages;
+        if (seen.insert(e.block).second)
+            ordered.push_back(e.block);
+    }
+    pageFaults_ += pages;
+    faultedBlocks_ += ordered.size();
+
+    sim::Tick cost = cfg_.faultFetchPerEntry * entries.size() +
+                     cfg_.faultPreprocessBase +
+                     cfg_.faultPreprocessPerBlock * ordered.size();
+
+    eventq().scheduleIn(cost, [this, ordered = std::move(ordered)] {
+        for (auto *l : listeners_)
+            l->onFaultBatch(ordered);
+
+        for (mem::BlockId b : ordered) {
+            auto it = blocks_.find(b);
+            if (it == blocks_.end())
+                sim::panic("fault on unregistered block %llu",
+                           static_cast<unsigned long long>(b));
+            BlockInfo &bi = it->second;
+            if (bi.loc == Loc::Device)
+                continue; // a prefetch landed it meanwhile
+            outstanding_.insert(b);
+            if (!bi.queuedFault) {
+                bool ok = faultQueue_.push(MigrateCmd{b, 0});
+                DEEPUM_ASSERT(ok, "fault queue overflow");
+                bi.queuedFault = true;
+            }
+        }
+
+        if (outstanding_.empty()) {
+            // Everything already resident: replay immediately.
+            if (engine_ != nullptr && engine_->stalled() &&
+                !replayPending_) {
+                replayPending_ = true;
+                scheduleIn(cfg_.replayLatency, [this] {
+                    replayPending_ = false;
+                    ++replaysSent_;
+                    engine_->replay();
+                });
+            }
+            return;
+        }
+
+        if (!migBusy_) {
+            migBusy_ = true;
+            scheduleIn(0, [this] { migrationStep(); });
+        }
+    });
+}
+
+void
+Driver::resolveFault(mem::BlockId b)
+{
+    outstanding_.erase(b);
+    if (!outstanding_.empty())
+        return;
+    if (engine_ != nullptr && engine_->stalled() && !replayPending_) {
+        replayPending_ = true;
+        scheduleIn(cfg_.replayLatency, [this] {
+            replayPending_ = false;
+            ++replaysSent_;
+            engine_->replay();
+        });
+    }
+}
+
+// --------------------------------------------------------------------
+// Migration thread
+// --------------------------------------------------------------------
+
+void
+Driver::migrationStep()
+{
+    for (;;) {
+        MigrateCmd cmd;
+        bool demand;
+        if (faultQueue_.pop(cmd)) {
+            demand = true;
+        } else if (prefetchQueue_.pop(cmd)) {
+            demand = false;
+        } else {
+            migBusy_ = false;
+            for (auto *l : listeners_)
+                l->onMigrationIdle();
+            return;
+        }
+
+        auto it = blocks_.find(cmd.block);
+        if (it == blocks_.end()) {
+            // Freed while queued.
+            if (!demand)
+                ++prefetchDropped_;
+            continue;
+        }
+        BlockInfo &bi = it->second;
+        if (demand)
+            bi.queuedFault = false;
+        else
+            bi.queuedPrefetch = false;
+
+        if (bi.loc == Loc::Device) {
+            if (demand)
+                resolveFault(cmd.block);
+            else
+                ++prefetchDropped_;
+            continue;
+        }
+
+        // Steps 3-7 of Figure 3: space check, eviction, populate,
+        // transfer, map.
+        sim::Tick t = curTick();
+        if (!makeRoom(bi.pages, t, demand)) {
+            if (demand) {
+                sim::panic("no evictable block for a demand fault "
+                           "(GPU memory too small for one batch?)");
+            }
+            // Drop the prefetch: everything resident is protected.
+            ++prefetchDropped_;
+            continue;
+        }
+        bool ok = frames_.reserve(bi.pages);
+        DEEPUM_ASSERT(ok, "frame reservation failed after makeRoom");
+
+        bool htod = (bi.loc == Loc::Host);
+        std::uint32_t pages = bi.pages;
+        if (htod) {
+            std::uint64_t bytes = std::uint64_t(pages) * mem::kPageSize;
+            if (demand) {
+                // Fault-path migration: fault-granularity chunks,
+                // each with a handling round trip (see TimingConfig).
+                std::uint64_t chunk = cfg_.demandChunkBytes;
+                while (bytes > 0) {
+                    std::uint64_t n = bytes < chunk ? bytes : chunk;
+                    t = link_.acquire(t, n, gpu::Dir::HostToDev) +
+                        cfg_.demandChunkOverhead;
+                    bytes -= n;
+                }
+            } else {
+                // Driver-initiated bulk copy at full block size.
+                t = link_.acquire(t, bytes, gpu::Dir::HostToDev);
+            }
+        } else {
+            t += cfg_.zeroFillPerPage * pages;
+        }
+        t += cfg_.mapBlock;
+
+        mem::BlockId b = cmd.block;
+        std::uint32_t exec_id = cmd.execId;
+        eventq().schedule(t, [this, b, demand, htod, pages, exec_id] {
+            auto bit = blocks_.find(b);
+            if (bit == blocks_.end()) {
+                // Freed mid-flight: hand the frames back.
+                frames_.release(pages);
+            } else {
+                BlockInfo &info = bit->second;
+                info.loc = Loc::Device;
+                info.migrateSeq = ++migrateSeq_;
+                info.prefetched = !demand;
+                info.prefetchExecId = exec_id;
+                lruPos_[b] = lru_.insert(lru_.end(), b);
+                if (htod) {
+                    ++migratedBlocks_;
+                    migratedPages_ += pages;
+                } else {
+                    ++zeroFillBlocks_;
+                }
+                if (!demand)
+                    ++prefetchCompleted_;
+                for (auto *l : listeners_)
+                    l->onBlockMigrated(b, !demand);
+                if (demand)
+                    resolveFault(b);
+            }
+            migrationStep();
+        });
+        return; // busy until the completion event fires
+    }
+}
+
+bool
+Driver::makeRoom(std::uint64_t pages, sim::Tick &t, bool demand)
+{
+    while (frames_.freePages() < pages) {
+        mem::BlockId victim = policy_->pickVictim(*this, demand);
+        if (victim == kNoBlock)
+            return false;
+        evictBlock(victim, t, demand);
+    }
+    return true;
+}
+
+void
+Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
+{
+    auto it = blocks_.find(victim);
+    DEEPUM_ASSERT(it != blocks_.end(), "evicting unknown block");
+    BlockInfo &bi = it->second;
+    DEEPUM_ASSERT(bi.loc == Loc::Device, "evicting non-resident block");
+    DEEPUM_ASSERT(!isPinned(victim), "evicting a pinned block");
+
+    auto lp = lruPos_.find(victim);
+    DEEPUM_ASSERT(lp != lruPos_.end(), "resident block missing from LRU");
+    lru_.erase(lp->second);
+    lruPos_.erase(lp);
+
+    if (bi.prefetched) {
+        bi.prefetched = false;
+        ++prefetchWasted_;
+        for (auto *l : listeners_)
+            l->onPrefetchWasted(victim, bi.prefetchExecId);
+    }
+
+    bool invalidate = invalidationEnabled_ && bi.fullyInactive();
+    if (invalidate) {
+        // Paper Section 5.2: the pages hold dead PyTorch pool data;
+        // unmap and drop them instead of copying back.
+        t += cfg_.mapBlock;
+        bi.loc = Loc::Unpopulated;
+        ++invalidatedBlocks_;
+    } else {
+        std::uint64_t bytes = std::uint64_t(bi.pages) * mem::kPageSize;
+        if (demand) {
+            // Eviction inside the fault handler moves data at fault
+            // granularity with handling round trips — the expensive
+            // critical-path work pre-eviction exists to avoid
+            // (paper Section 5.1).
+            std::uint64_t chunk = cfg_.demandChunkBytes;
+            while (bytes > 0) {
+                std::uint64_t n = bytes < chunk ? bytes : chunk;
+                t = link_.acquire(t, n, gpu::Dir::DevToHost) +
+                    cfg_.demandChunkOverhead;
+                bytes -= n;
+            }
+        } else {
+            t = link_.acquire(t, bytes, gpu::Dir::DevToHost);
+        }
+        t += cfg_.mapBlock;
+        bi.loc = Loc::Host;
+        ++evictedBlocks_;
+        evictedPages_ += bi.pages;
+    }
+    frames_.release(bi.pages);
+    if (demand)
+        ++demandEvictions_;
+    for (auto *l : listeners_)
+        l->onBlockEvicted(victim, invalidate);
+}
+
+} // namespace deepum::uvm

@@ -1,0 +1,203 @@
+/**
+ * @file
+ * The Unified Memory driver model.
+ *
+ * Implements the NVIDIA fault-handling pipeline of paper Figure 3:
+ * fetch fault-buffer entries, preprocess (dedupe + group by UM
+ * block), check device space, evict when full, populate, transfer,
+ * map, replay. Running it bare gives the "naive UM" baseline; the
+ * DeepUM components in core/ attach through DriverListener hooks,
+ * the prefetch queue, the pluggable eviction policy, and the
+ * inactive-range interface — exactly the surfaces the paper's kernel
+ * module hooks in the real driver.
+ *
+ * Two "kernel threads" are modelled as DES actors:
+ *  - the fault-handling thread (drain buffer -> fault queue, replay),
+ *  - the migration thread (serves the fault queue first, then the
+ *    prefetch queue; owns the PCIe link).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "gpu/backend.hh"
+#include "gpu/fault_buffer.hh"
+#include "gpu/gpu_engine.hh"
+#include "gpu/pcie_link.hh"
+#include "gpu/timing.hh"
+#include "mem/frame_pool.hh"
+#include "sim/sim_object.hh"
+#include "sim/spsc_queue.hh"
+#include "sim/stats.hh"
+#include "uvm/block_info.hh"
+#include "uvm/eviction_policy.hh"
+#include "uvm/listener.hh"
+
+namespace deepum::uvm {
+
+/** A queued migration request. */
+struct MigrateCmd {
+    mem::BlockId block = kNoBlock;
+    std::uint32_t execId = 0; ///< predicted consumer (prefetch only)
+};
+
+/** The UM driver: fault handling, migration, eviction. */
+class Driver : public sim::SimObject, public gpu::UvmBackend
+{
+  public:
+    Driver(sim::EventQueue &eq, const gpu::TimingConfig &cfg,
+           gpu::FaultBuffer &fb, gpu::PcieLink &link,
+           mem::FramePool &frames, sim::StatSet &stats);
+    ~Driver() override;
+
+    /** Attach the GPU engine (for replay signals). */
+    void setEngine(gpu::GpuEngine *engine) { engine_ = engine; }
+
+    /** Attach an observer; observers outlive the driver's runs. */
+    void addListener(DriverListener *l) { listeners_.push_back(l); }
+
+    /** Replace the eviction policy (default: LruMigratedPolicy). */
+    void setEvictionPolicy(std::unique_ptr<EvictionPolicy> p);
+
+    /** Enable/disable the inactive-PT-block invalidation path. */
+    void setInvalidationEnabled(bool on) { invalidationEnabled_ = on; }
+
+    // --- address-space management (called via the runtime) ---------
+
+    /** A UM allocation appeared; create block records for it. */
+    void registerRange(mem::VAddr va, std::uint64_t bytes);
+
+    /** A UM allocation was freed; drop its blocks and frames. */
+    void unregisterRange(mem::VAddr va, std::uint64_t bytes);
+
+    /**
+     * PyTorch marked [va, va+bytes) (in)active (paper Section 5.2).
+     * Adjusts per-block inactive page counts used for invalidation.
+     */
+    void markInactiveRange(mem::VAddr va, std::uint64_t bytes,
+                           bool inactive);
+
+    // --- prefetch interface (used by core::Prefetcher) -------------
+
+    /**
+     * Enqueue a prefetch command.
+     * @return false if dropped (full queue, already resident/queued,
+     * or unknown block).
+     */
+    bool enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id);
+
+    /** Commands waiting in the prefetch queue. */
+    std::size_t prefetchQueueDepth() const { return prefetchQueue_.size(); }
+
+    /** Commands waiting in the fault queue. */
+    std::size_t faultQueueDepth() const { return faultQueue_.size(); }
+
+    // --- pre-eviction interface (used by core::PreEvictor) ---------
+
+    /**
+     * Evict one victim off the fault path if the migration thread is
+     * idle. @return true if an eviction was started.
+     */
+    bool preEvictOne();
+
+    /** True if the migration thread has nothing in flight. */
+    bool migrationIdle() const { return !migBusy_; }
+
+    // --- queries ----------------------------------------------------
+
+    /** Per-block info; panics on unknown block. */
+    const BlockInfo &blockInfo(mem::BlockId b) const;
+
+    /** True if the driver manages @p b. */
+    bool knowsBlock(mem::BlockId b) const { return blocks_.count(b) != 0; }
+
+    /** Resident blocks in migration order (oldest first). */
+    const std::list<mem::BlockId> &lruOrder() const { return lru_; }
+
+    /** Blocks pinned by in-flight fault handling. */
+    bool isPinned(mem::BlockId b) const { return outstanding_.count(b) != 0; }
+
+    mem::FramePool &frames() { return frames_; }
+    const mem::FramePool &frames() const { return frames_; }
+    const gpu::TimingConfig &timing() const { return cfg_; }
+
+    // --- gpu::UvmBackend --------------------------------------------
+
+    bool isResident(mem::BlockId block) const override;
+    void faultInterrupt() override;
+    void onKernelBegin(const gpu::KernelInfo &k) override;
+    void onKernelEnd(const gpu::KernelInfo &k) override;
+    void onBlockAccess(mem::BlockId block) override;
+
+  private:
+    /** Fault-handling thread body: fetch + preprocess + dispatch. */
+    void handleFaults();
+
+    /** Migration thread body: serve one command, then reschedule. */
+    void migrationStep();
+
+    /**
+     * Evict victims until @p pages frames are free.
+     * @param t running completion time (advanced per eviction)
+     * @param demand true when on the fault critical path
+     * @return false if no progress is possible (nothing evictable)
+     */
+    bool makeRoom(std::uint64_t pages, sim::Tick &t, bool demand);
+
+    /** Evict one specific block; advances @p t by the eviction cost. */
+    void evictBlock(mem::BlockId victim, sim::Tick &t, bool demand);
+
+    /** A demand-faulted block became resident (or already was). */
+    void resolveFault(mem::BlockId b);
+
+    const gpu::TimingConfig &cfg_;
+    gpu::FaultBuffer &fb_;
+    gpu::PcieLink &link_;
+    mem::FramePool &frames_;
+    gpu::GpuEngine *engine_ = nullptr;
+
+    std::unordered_map<mem::BlockId, BlockInfo> blocks_;
+    std::list<mem::BlockId> lru_; ///< resident, oldest migration first
+    std::unordered_map<mem::BlockId, std::list<mem::BlockId>::iterator>
+        lruPos_;
+
+    sim::SpscQueue<MigrateCmd> faultQueue_;
+    sim::SpscQueue<MigrateCmd> prefetchQueue_;
+    std::unordered_set<mem::BlockId> outstanding_;
+
+    std::vector<DriverListener *> listeners_;
+    std::unique_ptr<EvictionPolicy> policy_;
+
+    bool invalidationEnabled_ = false;
+    bool faultHandlerPending_ = false;
+    bool migBusy_ = false;
+    bool replayPending_ = false;
+    std::uint64_t migrateSeq_ = 0;
+
+    // Statistics (paper Table 5, Figure 10 inputs).
+    sim::Scalar pageFaults_;
+    sim::Scalar faultBatches_;
+    sim::Scalar faultedBlocks_;
+    sim::Scalar migratedBlocks_;
+    sim::Scalar migratedPages_;
+    sim::Scalar zeroFillBlocks_;
+    sim::Scalar evictedBlocks_;
+    sim::Scalar evictedPages_;
+    sim::Scalar invalidatedBlocks_;
+    sim::Scalar demandEvictions_;
+    sim::Scalar preEvictions_;
+    sim::Scalar prefetchIssued_;
+    sim::Scalar prefetchCompleted_;
+    sim::Scalar prefetchDropped_;
+    sim::Scalar prefetchUseful_;
+    sim::Scalar prefetchWasted_;
+    sim::Scalar replaysSent_;
+};
+
+} // namespace deepum::uvm

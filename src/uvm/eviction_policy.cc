@@ -1,0 +1,18 @@
+#include "uvm/eviction_policy.hh"
+
+#include "uvm/driver.hh"
+
+namespace deepum::uvm {
+
+mem::BlockId
+LruMigratedPolicy::pickVictim(const Driver &drv, bool demand)
+{
+    (void)demand; // the stock driver treats both paths the same
+    for (mem::BlockId b : drv.lruOrder()) {
+        if (!drv.isPinned(b))
+            return b;
+    }
+    return kNoBlock;
+}
+
+} // namespace deepum::uvm

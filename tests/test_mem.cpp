@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Unit tests for address arithmetic, the VA-space allocator, and the
+ * GPU frame pool.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/addr.hh"
+#include "mem/frame_pool.hh"
+#include "mem/va_space.hh"
+#include "sim/types.hh"
+
+using namespace deepum;
+using namespace deepum::mem;
+
+namespace {
+
+// ---------------------------------------------------------------- addr
+
+TEST(Addr, Constants)
+{
+    EXPECT_EQ(kPageSize, 4096u);
+    EXPECT_EQ(kPagesPerBlock, 512u);
+    EXPECT_EQ(kBlockBytes, 2u * 1024 * 1024);
+}
+
+TEST(Addr, PageAndBlockOf)
+{
+    EXPECT_EQ(pageOf(0), 0u);
+    EXPECT_EQ(pageOf(4095), 0u);
+    EXPECT_EQ(pageOf(4096), 1u);
+    EXPECT_EQ(blockOf(kBlockBytes - 1), 0u);
+    EXPECT_EQ(blockOf(kBlockBytes), 1u);
+    EXPECT_EQ(blockBase(3), 3 * kBlockBytes);
+}
+
+TEST(Addr, BlockRangeOfAllocation)
+{
+    // 5 MiB starting at block 10 spans blocks 10, 11, 12.
+    VAddr va = blockBase(10);
+    std::uint64_t bytes = 5 * sim::kMiB;
+    EXPECT_EQ(firstBlock(va, bytes), 10u);
+    EXPECT_EQ(endBlock(va, bytes), 13u);
+    EXPECT_EQ(endBlock(va, 0), blockOf(va));
+}
+
+TEST(Addr, PagesInBlockFullAndTail)
+{
+    VAddr va = blockBase(4);
+    std::uint64_t bytes = 2 * kBlockBytes + 3 * kPageSize;
+    EXPECT_EQ(pagesInBlock(4, va, bytes), kPagesPerBlock);
+    EXPECT_EQ(pagesInBlock(5, va, bytes), kPagesPerBlock);
+    EXPECT_EQ(pagesInBlock(6, va, bytes), 3u);
+    EXPECT_EQ(pagesInBlock(7, va, bytes), 0u);
+    EXPECT_EQ(pagesInBlock(3, va, bytes), 0u);
+}
+
+TEST(Addr, BytesInBlockIsAdditive)
+{
+    // Two PT-blocks sharing a page must not double-count.
+    VAddr va = blockBase(2);
+    std::uint64_t a = 512, b = 1536;
+    EXPECT_EQ(bytesInBlock(2, va, a) + bytesInBlock(2, va + a, b),
+              bytesInBlock(2, va, a + b));
+}
+
+TEST(Addr, RoundingHelpers)
+{
+    EXPECT_EQ(roundUpPages(1), 1u);
+    EXPECT_EQ(roundUpPages(kPageSize), 1u);
+    EXPECT_EQ(roundUpPages(kPageSize + 1), 2u);
+    EXPECT_EQ(alignUp(10, 8), 16u);
+    EXPECT_EQ(alignUp(16, 8), 16u);
+}
+
+// ---------------------------------------------------------------- va space
+
+TEST(VaSpace, GrantsAreBlockAligned)
+{
+    VaSpace va(64 * sim::kMiB);
+    VAddr a = va.allocate(100);
+    ASSERT_NE(a, 0u);
+    EXPECT_EQ(a % kBlockBytes, 0u);
+    EXPECT_EQ(va.sizeOf(a), kPageSize); // page-rounded
+}
+
+TEST(VaSpace, DistinctAllocationsDoNotOverlap)
+{
+    VaSpace va(64 * sim::kMiB);
+    VAddr a = va.allocate(3 * sim::kMiB);
+    VAddr b = va.allocate(3 * sim::kMiB);
+    ASSERT_NE(a, 0u);
+    ASSERT_NE(b, 0u);
+    EXPECT_TRUE(a + va.sizeOf(a) <= b || b + va.sizeOf(b) <= a);
+}
+
+TEST(VaSpace, ExhaustionReturnsZero)
+{
+    VaSpace va(4 * sim::kMiB);
+    EXPECT_NE(va.allocate(4 * sim::kMiB), 0u);
+    EXPECT_EQ(va.allocate(kPageSize), 0u);
+}
+
+TEST(VaSpace, ReleaseCoalescesAndAllowsReuse)
+{
+    VaSpace va(8 * sim::kMiB);
+    VAddr a = va.allocate(4 * sim::kMiB);
+    VAddr b = va.allocate(4 * sim::kMiB);
+    ASSERT_NE(b, 0u);
+    va.release(a);
+    va.release(b);
+    // After coalescing the full range is available again.
+    VAddr c = va.allocate(8 * sim::kMiB);
+    EXPECT_NE(c, 0u);
+}
+
+TEST(VaSpace, UsedAndPeakTracking)
+{
+    VaSpace va(16 * sim::kMiB);
+    VAddr a = va.allocate(2 * sim::kMiB);
+    VAddr b = va.allocate(2 * sim::kMiB);
+    EXPECT_EQ(va.usedBytes(), 4 * sim::kMiB);
+    va.release(a);
+    EXPECT_EQ(va.usedBytes(), 2 * sim::kMiB);
+    EXPECT_EQ(va.peakBytes(), 4 * sim::kMiB);
+    EXPECT_EQ(va.liveAllocations(), 1u);
+    va.release(b);
+}
+
+TEST(VaSpace, ContainsChecksLiveRanges)
+{
+    VaSpace va(8 * sim::kMiB);
+    VAddr a = va.allocate(sim::kMiB);
+    EXPECT_TRUE(va.contains(a));
+    EXPECT_TRUE(va.contains(a + sim::kMiB - 1));
+    EXPECT_FALSE(va.contains(a + 4 * sim::kMiB));
+    va.release(a);
+    EXPECT_FALSE(va.contains(a));
+}
+
+TEST(VaSpaceDeath, DoubleReleasePanics)
+{
+    VaSpace va(8 * sim::kMiB);
+    VAddr a = va.allocate(sim::kMiB);
+    va.release(a);
+    EXPECT_DEATH(va.release(a), "unknown");
+}
+
+// ---------------------------------------------------------------- frames
+
+TEST(FramePool, ReserveAndRelease)
+{
+    FramePool fp(100);
+    EXPECT_EQ(fp.totalPages(), 100u);
+    EXPECT_TRUE(fp.reserve(60));
+    EXPECT_EQ(fp.freePages(), 40u);
+    EXPECT_FALSE(fp.reserve(41)); // insufficient, unchanged
+    EXPECT_EQ(fp.freePages(), 40u);
+    fp.release(10);
+    EXPECT_EQ(fp.usedPages(), 50u);
+}
+
+TEST(FramePool, PeakUsedHighWatermark)
+{
+    FramePool fp(100);
+    fp.reserve(80);
+    fp.release(50);
+    fp.reserve(10);
+    EXPECT_EQ(fp.peakUsedPages(), 80u);
+}
+
+TEST(FramePoolDeath, OverReleasePanics)
+{
+    FramePool fp(10);
+    fp.reserve(5);
+    EXPECT_DEATH(fp.release(6), "capacity");
+}
+
+} // namespace

@@ -1,0 +1,258 @@
+/**
+ * @file
+ * Tests for the workload generators: tape well-formedness (balanced
+ * alloc/free, uses of live tensors only), footprint scaling with
+ * batch size, determinism, and model-specific properties (DLRM's
+ * irregular gathers, ResNet's conv-heavy compute).
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "models/registry.hh"
+#include "sim/types.hh"
+#include "torch/tape.hh"
+
+using namespace deepum;
+using namespace deepum::torch;
+
+namespace {
+
+/** Simulate the iteration's alloc/free protocol and check it. */
+void
+checkLiveness(const Tape &tape)
+{
+    std::vector<bool> live(tape.tensors.size(), false);
+    for (const auto &s : tape.prologue) {
+        ASSERT_EQ(s.kind, StepKind::Alloc);
+        ASSERT_FALSE(live[s.tensor]);
+        live[s.tensor] = true;
+    }
+    auto persistent = live;
+    for (int iter = 0; iter < 2; ++iter) {
+        for (const auto &s : tape.iteration) {
+            switch (s.kind) {
+              case StepKind::Alloc:
+                ASSERT_FALSE(live[s.tensor])
+                    << "double alloc of "
+                    << tape.tensors[s.tensor].name;
+                live[s.tensor] = true;
+                break;
+              case StepKind::Free:
+                ASSERT_TRUE(live[s.tensor])
+                    << "free of dead "
+                    << tape.tensors[s.tensor].name;
+                ASSERT_FALSE(persistent[s.tensor])
+                    << "freeing persistent "
+                    << tape.tensors[s.tensor].name;
+                live[s.tensor] = false;
+                break;
+              case StepKind::Launch: {
+                const TapeOp &op = tape.ops[s.opIndex];
+                for (const auto &u : op.uses) {
+                    ASSERT_TRUE(live[u.tensor])
+                        << op.name << " uses dead tensor "
+                        << tape.tensors[u.tensor].name;
+                }
+                if (op.gatherTensor != kNoTensor)
+                    ASSERT_TRUE(live[op.gatherTensor]);
+                break;
+              }
+            }
+        }
+        // Everything transient must be freed at the iteration end.
+        EXPECT_EQ(live, persistent)
+            << "transients leak across iterations";
+    }
+}
+
+class AllModels : public ::testing::TestWithParam<std::string>
+{
+};
+
+TEST_P(AllModels, TapeIsWellFormed)
+{
+    Tape tape = models::buildModel(GetParam(), 8);
+    tape.validate();
+    checkLiveness(tape);
+    EXPECT_GT(tape.launchesPerIteration(), 5u);
+    EXPECT_GT(tape.iterationComputeNs(), 0u);
+    EXPECT_GT(tape.persistentBytes(), 0u);
+    EXPECT_GT(tape.peakTransientBytes(), 0u);
+}
+
+TEST_P(AllModels, FootprintGrowsWithBatch)
+{
+    Tape small = models::buildModel(GetParam(), 64);
+    Tape big = models::buildModel(GetParam(), 4096);
+    EXPECT_GT(big.footprintBytes(), small.footprintBytes());
+    // Persistent memory is batch-independent.
+    EXPECT_EQ(big.persistentBytes(), small.persistentBytes());
+}
+
+TEST_P(AllModels, BuildIsDeterministic)
+{
+    Tape a = models::buildModel(GetParam(), 16);
+    Tape b = models::buildModel(GetParam(), 16);
+    ASSERT_EQ(a.ops.size(), b.ops.size());
+    for (std::size_t i = 0; i < a.ops.size(); ++i) {
+        EXPECT_EQ(a.ops[i].argHash, b.ops[i].argHash);
+        EXPECT_EQ(a.ops[i].computeNs, b.ops[i].computeNs);
+    }
+    ASSERT_EQ(a.tensors.size(), b.tensors.size());
+    for (std::size_t i = 0; i < a.tensors.size(); ++i)
+        EXPECT_EQ(a.tensors[i].bytes, b.tensors[i].bytes);
+}
+
+TEST_P(AllModels, ArgHashesAreUniquePerOp)
+{
+    Tape tape = models::buildModel(GetParam(), 8);
+    std::set<std::uint64_t> hashes;
+    for (const auto &op : tape.ops)
+        hashes.insert(op.argHash);
+    // Distinct call sites get distinct execution IDs.
+    EXPECT_EQ(hashes.size(), tape.ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Registry, AllModels,
+    ::testing::ValuesIn(deepum::models::modelNames()),
+    [](const ::testing::TestParamInfo<std::string> &info) {
+        std::string name = info.param;
+        for (char &c : name)
+            if (c == '-')
+                c = '_';
+        return name;
+    });
+
+// ------------------------------------------------------- specifics
+
+TEST(Registry, KnowsAllNineWorkloads)
+{
+    for (const char *m :
+         {"gpt2-xl", "gpt2-l", "bert-large", "bert-base", "dlrm",
+          "resnet152", "resnet200", "dcgan", "mobilenet"})
+        EXPECT_TRUE(models::haveModel(m)) << m;
+    EXPECT_FALSE(models::haveModel("alexnet"));
+}
+
+TEST(RegistryDeath, UnknownModelIsFatal)
+{
+    EXPECT_DEATH(models::buildModel("nope", 1), "unknown model");
+}
+
+TEST(Dlrm, HasIrregularGathers)
+{
+    Tape tape = models::buildModel("dlrm", 131072);
+    std::size_t gathers = 0;
+    bool scatter_writes = false;
+    for (const auto &op : tape.ops) {
+        if (op.gatherTensor != kNoTensor && op.gatherBlocks > 0) {
+            ++gathers;
+            scatter_writes |= op.gatherWrites;
+        }
+    }
+    EXPECT_GE(gathers, 8u); // per-chunk lookups and scatters
+    EXPECT_TRUE(scatter_writes);
+}
+
+TEST(Dlrm, EmbeddingDominatesPersistentMemory)
+{
+    Tape tape = models::buildModel("dlrm", 131072);
+    std::uint64_t emb = 0;
+    for (const auto &t : tape.tensors)
+        if (t.name == "embedding_tables")
+            emb = t.bytes;
+    EXPECT_GT(emb, tape.persistentBytes() / 2);
+}
+
+TEST(Transformers, DeeperModelHasMoreKernels)
+{
+    Tape xl = models::buildModel("gpt2-xl", 4);
+    Tape l = models::buildModel("gpt2-l", 4);
+    Tape bb = models::buildModel("bert-base", 4);
+    EXPECT_GT(xl.launchesPerIteration(), l.launchesPerIteration());
+    EXPECT_GT(l.launchesPerIteration(), bb.launchesPerIteration());
+}
+
+TEST(Transformers, NoGathers)
+{
+    Tape tape = models::buildModel("bert-large", 8);
+    for (const auto &op : tape.ops)
+        EXPECT_EQ(op.gatherTensor, kNoTensor);
+}
+
+TEST(ResNet, ConvComputeDominatesPerByte)
+{
+    // ResNets are the compute-bound end of the spectrum... in the
+    // paper's absolute sense. At the simulator's scale the load-
+    // bearing property is that conv kernels carry a compute_scale
+    // well above elementwise ops: check kernels' compute per byte.
+    Tape rn = models::buildModel("resnet152", 256);
+    sim::Tick conv = 0, bn = 0;
+    std::uint64_t conv_n = 0, bn_n = 0;
+    for (const auto &op : rn.ops) {
+        if (op.name == "res_convs") {
+            conv += op.computeNs;
+            ++conv_n;
+        } else if (op.name == "bn_relu_add") {
+            bn += op.computeNs;
+            ++bn_n;
+        }
+    }
+    ASSERT_GT(conv_n, 0u);
+    ASSERT_GT(bn_n, 0u);
+    EXPECT_GT(conv / conv_n, 2 * (bn / bn_n));
+}
+
+TEST(ResNet, Resnet200IsDeeper)
+{
+    Tape r152 = models::buildModel("resnet152", 64);
+    Tape r200 = models::buildModel("resnet200", 64);
+    EXPECT_GT(r200.launchesPerIteration(),
+              r152.launchesPerIteration());
+}
+
+TEST(Dcgan, TrainsTwoNetworks)
+{
+    Tape tape = models::buildModel("dcgan", 512);
+    bool g_fwd = false, d_fwd = false, g_opt = false;
+    for (const auto &op : tape.ops) {
+        if (op.name == "g_deconv_fwd")
+            g_fwd = true;
+        if (op.name == "d_conv_fwd")
+            d_fwd = true;
+    }
+    std::size_t adam = 0;
+    for (const auto &op : tape.ops)
+        if (op.name == "adam_step")
+            ++adam;
+    g_opt = adam >= 10; // both optimizers' weight groups
+    EXPECT_TRUE(g_fwd);
+    EXPECT_TRUE(d_fwd);
+    EXPECT_TRUE(g_opt);
+}
+
+TEST(Footprints, OversubscriptionBandsAtPaperBatches)
+{
+    // DESIGN.md section 5: the paper's batch labels must land in the
+    // oversubscription bands that make the experiments meaningful on
+    // a 256 MiB device.
+    const std::uint64_t gpu = 256 * sim::kMiB;
+    auto ratio = [&](const char *m, std::uint64_t b) {
+        return static_cast<double>(
+                   models::buildModel(m, b).footprintBytes()) /
+               static_cast<double>(gpu);
+    };
+    EXPECT_GT(ratio("gpt2-xl", 3), 1.05);
+    EXPECT_LT(ratio("gpt2-xl", 7), 3.0);
+    EXPECT_GT(ratio("bert-large", 14), 1.02);
+    // BERT base at batch 29 barely oversubscribes (paper: ~3%).
+    EXPECT_GT(ratio("bert-base", 29), 0.98);
+    EXPECT_LT(ratio("bert-base", 29), 1.15);
+    EXPECT_GT(ratio("resnet152", 1280), 1.3);
+    EXPECT_GT(ratio("dlrm", 131072), 1.05);
+}
+
+} // namespace

@@ -1,0 +1,251 @@
+/**
+ * @file
+ * Unit tests for the simulation substrate: event queue, stats,
+ * SPSC queue, RNG, logging levels.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/logging.hh"
+#include "sim/rng.hh"
+#include "sim/spsc_queue.hh"
+#include "sim/stats.hh"
+
+using namespace deepum;
+using namespace deepum::sim;
+
+namespace {
+
+class SilentLogs : public ::testing::Test
+{
+  protected:
+    void SetUp() override { prev_ = setLogLevel(LogLevel::Silent); }
+    void TearDown() override { setLogLevel(prev_); }
+    LogLevel prev_ = LogLevel::Info;
+};
+
+// ---------------------------------------------------------------- events
+
+TEST(EventQueue, RunsInTimeOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    eq.schedule(30, [&] { order.push_back(3); });
+    eq.schedule(10, [&] { order.push_back(1); });
+    eq.schedule(20, [&] { order.push_back(2); });
+    eq.run();
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(eq.now(), 30u);
+}
+
+TEST(EventQueue, SimultaneousEventsRunInScheduleOrder)
+{
+    EventQueue eq;
+    std::vector<int> order;
+    for (int i = 0; i < 8; ++i)
+        eq.schedule(5, [&order, i] { order.push_back(i); });
+    eq.run();
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(order[i], i);
+}
+
+TEST(EventQueue, EventsCanScheduleMoreEvents)
+{
+    EventQueue eq;
+    int fired = 0;
+    std::function<void()> chain = [&]() {
+        ++fired;
+        if (fired < 5)
+            eq.scheduleIn(10, chain);
+    };
+    eq.schedule(0, chain);
+    eq.run();
+    EXPECT_EQ(fired, 5);
+    EXPECT_EQ(eq.now(), 40u);
+}
+
+TEST(EventQueue, StepExecutesExactlyOne)
+{
+    EventQueue eq;
+    int n = 0;
+    eq.schedule(1, [&] { ++n; });
+    eq.schedule(2, [&] { ++n; });
+    EXPECT_TRUE(eq.step());
+    EXPECT_EQ(n, 1);
+    EXPECT_TRUE(eq.step());
+    EXPECT_FALSE(eq.step());
+    EXPECT_EQ(n, 2);
+}
+
+TEST(EventQueue, RunLimitStopsEarly)
+{
+    EventQueue eq;
+    int n = 0;
+    for (int i = 0; i < 10; ++i)
+        eq.schedule(i, [&] { ++n; });
+    eq.run(4);
+    EXPECT_EQ(n, 4);
+    EXPECT_EQ(eq.pending(), 6u);
+}
+
+TEST(EventQueue, ClearDropsPending)
+{
+    EventQueue eq;
+    int n = 0;
+    eq.schedule(1, [&] { ++n; });
+    eq.clear();
+    eq.run();
+    EXPECT_EQ(n, 0);
+}
+
+TEST(EventQueueDeath, SchedulingInThePastPanics)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    EXPECT_DEATH(eq.schedule(50, [] {}), "past");
+}
+
+// ---------------------------------------------------------------- stats
+
+TEST(Stats, ScalarArithmeticAndLookup)
+{
+    StatSet set;
+    Scalar a(set, "x.count", "a counter");
+    Scalar b(set, "x.peak", "a peak");
+    ++a;
+    a += 4;
+    b.max(10);
+    b.max(3); // must not lower it
+    EXPECT_EQ(set.get("x.count"), 5u);
+    EXPECT_EQ(set.get("x.peak"), 10u);
+    EXPECT_TRUE(set.has("x.count"));
+    EXPECT_FALSE(set.has("nope"));
+}
+
+TEST(Stats, ResetAllZeroes)
+{
+    StatSet set;
+    Scalar a(set, "a", "");
+    a += 7;
+    set.resetAll();
+    EXPECT_EQ(set.get("a"), 0u);
+}
+
+TEST(Stats, UnknownStatWarnsAndReturnsZero)
+{
+    auto prev = setLogLevel(LogLevel::Silent);
+    StatSet set;
+    EXPECT_EQ(set.get("missing"), 0u);
+    setLogLevel(prev);
+}
+
+TEST(StatsDeath, DuplicateNamePanics)
+{
+    StatSet set;
+    Scalar a(set, "dup", "");
+    EXPECT_DEATH(Scalar(set, "dup", ""), "duplicate");
+}
+
+// ---------------------------------------------------------------- spsc
+
+TEST(SpscQueue, FifoOrder)
+{
+    SpscQueue<int> q(4);
+    EXPECT_TRUE(q.empty());
+    for (int i = 0; i < 4; ++i)
+        EXPECT_TRUE(q.push(i));
+    EXPECT_FALSE(q.push(99)); // full
+    EXPECT_EQ(q.dropped(), 1u);
+    int v;
+    for (int i = 0; i < 4; ++i) {
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, i);
+    }
+    EXPECT_FALSE(q.pop(v));
+}
+
+TEST(SpscQueue, WrapsAround)
+{
+    SpscQueue<int> q(3);
+    int v;
+    for (int round = 0; round < 10; ++round) {
+        EXPECT_TRUE(q.push(round));
+        ASSERT_TRUE(q.pop(v));
+        EXPECT_EQ(v, round);
+    }
+    EXPECT_EQ(q.pushed(), 10u);
+}
+
+TEST(SpscQueue, SizeTracksContents)
+{
+    SpscQueue<int> q(5);
+    EXPECT_EQ(q.capacity(), 5u);
+    q.push(1);
+    q.push(2);
+    EXPECT_EQ(q.size(), 2u);
+    int v;
+    q.pop(v);
+    EXPECT_EQ(q.size(), 1u);
+    q.clear();
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(SpscQueue, FrontPeeksWithoutPop)
+{
+    SpscQueue<int> q(2);
+    q.push(42);
+    EXPECT_EQ(q.front(), 42);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+// ---------------------------------------------------------------- rng
+
+TEST(Rng, DeterministicForSeed)
+{
+    Rng a(123), b(123), c(124);
+    bool all_equal = true, any_diff_seed = false;
+    for (int i = 0; i < 100; ++i) {
+        auto va = a.next(), vb = b.next(), vc = c.next();
+        all_equal = all_equal && (va == vb);
+        any_diff_seed = any_diff_seed || (va != vc);
+    }
+    EXPECT_TRUE(all_equal);
+    EXPECT_TRUE(any_diff_seed);
+}
+
+TEST(Rng, BelowStaysInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, UniformInUnitInterval)
+{
+    Rng r(9);
+    double sum = 0;
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        sum += u;
+    }
+    EXPECT_NEAR(sum / 1000.0, 0.5, 0.05);
+}
+
+// ---------------------------------------------------------------- time
+
+TEST(Types, TickConversions)
+{
+    EXPECT_DOUBLE_EQ(ticksToSeconds(kSec), 1.0);
+    EXPECT_DOUBLE_EQ(ticksToMs(kMsec), 1.0);
+    EXPECT_EQ(kUsec, 1000u);
+    EXPECT_EQ(kSec, 1000000000u);
+}
+
+} // namespace

@@ -1,0 +1,262 @@
+/**
+ * @file
+ * Unit tests for the PyTorch-style caching allocator: rounding,
+ * pool selection, split/coalesce, emptyCache, OOM-retry, and the
+ * active/inactive notifications that drive DeepUM's invalidation.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "mem/va_space.hh"
+#include "sim/stats.hh"
+#include "torch/allocator.hh"
+#include "torch/segment_source.hh"
+
+using namespace deepum;
+using namespace deepum::torch;
+
+namespace {
+
+/** Source backed by a plain VA space, recording notifications. */
+class TestSource : public SegmentSource
+{
+  public:
+    explicit TestSource(std::uint64_t capacity) : va_(capacity) {}
+
+    mem::VAddr
+    allocSegment(std::uint64_t bytes) override
+    {
+        ++segAllocs;
+        return va_.allocate(bytes);
+    }
+
+    void
+    freeSegment(mem::VAddr va) override
+    {
+        ++segFrees;
+        va_.release(va);
+    }
+
+    void
+    noteInactive(mem::VAddr va, std::uint64_t bytes,
+                 bool inactive) override
+    {
+        // Signed byte ledger per address range start; the allocator
+        // must keep global inactive bytes consistent.
+        inactiveBytes += inactive ? static_cast<std::int64_t>(bytes)
+                                  : -static_cast<std::int64_t>(bytes);
+        lastNote = {va, bytes, inactive};
+    }
+
+    mem::VaSpace va_;
+    int segAllocs = 0;
+    int segFrees = 0;
+    std::int64_t inactiveBytes = 0;
+    struct {
+        mem::VAddr va;
+        std::uint64_t bytes;
+        bool inactive;
+    } lastNote{};
+};
+
+struct Fixture {
+    sim::StatSet stats;
+    TestSource src{1 * sim::kGiB};
+    CachingAllocator alloc{src, stats};
+};
+
+TEST(Allocator, RoundSizeRules)
+{
+    EXPECT_EQ(CachingAllocator::roundSize(1), kMinBlockSize);
+    EXPECT_EQ(CachingAllocator::roundSize(512), 512u);
+    EXPECT_EQ(CachingAllocator::roundSize(513), 1024u);
+}
+
+TEST(Allocator, SegmentSizeRules)
+{
+    // <= 1 MiB requests come from 2 MiB small segments.
+    EXPECT_EQ(CachingAllocator::segmentSizeFor(512), kSmallBuffer);
+    EXPECT_EQ(CachingAllocator::segmentSizeFor(kSmallSize),
+              kSmallBuffer);
+    // 1 MiB..10 MiB: 20 MiB large segments.
+    EXPECT_EQ(CachingAllocator::segmentSizeFor(2 * sim::kMiB),
+              kLargeBuffer);
+    // >= 10 MiB: rounded to 2 MiB.
+    EXPECT_EQ(CachingAllocator::segmentSizeFor(11 * sim::kMiB),
+              12 * sim::kMiB);
+}
+
+TEST(Allocator, SmallRequestsShareOneSegment)
+{
+    Fixture f;
+    std::vector<mem::VAddr> ptrs;
+    for (int i = 0; i < 4; ++i)
+        ptrs.push_back(f.alloc.malloc(100 * 1024));
+    EXPECT_EQ(f.src.segAllocs, 1); // all inside one 2 MiB segment
+    for (auto p : ptrs)
+        f.alloc.free(p);
+}
+
+TEST(Allocator, LargeRequestUsesLargePool)
+{
+    Fixture f;
+    mem::VAddr p = f.alloc.malloc(3 * sim::kMiB);
+    ASSERT_NE(p, 0u);
+    EXPECT_EQ(f.alloc.sizeOf(p), 3 * sim::kMiB);
+    EXPECT_EQ(f.alloc.reservedBytes(), kLargeBuffer);
+    f.alloc.free(p);
+}
+
+TEST(Allocator, FreeThenMallocReusesBlock)
+{
+    Fixture f;
+    mem::VAddr a = f.alloc.malloc(2 * sim::kMiB);
+    f.alloc.free(a);
+    int segs = f.src.segAllocs;
+    mem::VAddr b = f.alloc.malloc(2 * sim::kMiB);
+    EXPECT_EQ(a, b); // identical placement: what makes tables repeat
+    EXPECT_EQ(f.src.segAllocs, segs);
+    f.alloc.free(b);
+}
+
+TEST(Allocator, SmallestFitIsChosen)
+{
+    Fixture f;
+    mem::VAddr big = f.alloc.malloc(16 * sim::kMiB);
+    mem::VAddr small = f.alloc.malloc(11 * sim::kMiB);
+    f.alloc.free(big);
+    f.alloc.free(small);
+    // A 10.5 MiB request must take the 11 MiB block, not 16 MiB.
+    mem::VAddr p = f.alloc.malloc(10 * sim::kMiB + 512 * 1024);
+    EXPECT_EQ(p, small);
+    f.alloc.free(p);
+}
+
+TEST(Allocator, SplitAndCoalesceRoundTrip)
+{
+    Fixture f;
+    // One 20 MiB segment, carve a 2 MiB block out of it.
+    mem::VAddr a = f.alloc.malloc(2 * sim::kMiB);
+    EXPECT_EQ(f.stats.get("torch.splits"), 1u);
+    EXPECT_EQ(f.alloc.poolBlockCount(PoolKind::Large), 1u);
+    f.alloc.free(a);
+    EXPECT_EQ(f.stats.get("torch.merges"), 1u);
+    // Whole segment is one free block again: emptyCache releases it.
+    f.alloc.emptyCache();
+    EXPECT_EQ(f.src.segFrees, 1);
+    EXPECT_EQ(f.alloc.reservedBytes(), 0u);
+}
+
+TEST(Allocator, EmptyCacheKeepsPartiallyUsedSegments)
+{
+    Fixture f;
+    mem::VAddr a = f.alloc.malloc(2 * sim::kMiB);
+    mem::VAddr b = f.alloc.malloc(2 * sim::kMiB);
+    f.alloc.free(a);
+    f.alloc.emptyCache();
+    EXPECT_EQ(f.src.segFrees, 0); // b still lives in the segment
+    f.alloc.free(b);
+    f.alloc.emptyCache();
+    EXPECT_EQ(f.src.segFrees, 1);
+}
+
+TEST(Allocator, OomRetriesAfterFlushingCache)
+{
+    sim::StatSet stats;
+    TestSource src(40 * sim::kMiB);
+    CachingAllocator alloc(src, stats);
+    mem::VAddr a = alloc.malloc(18 * sim::kMiB); // 18 MiB segment
+    ASSERT_NE(a, 0u);
+    alloc.free(a);
+    // A 38 MiB request cannot come from the 18 MiB cached block and
+    // the heap has only 22 MiB left — but flushing the cache frees
+    // the whole heap and the retry must succeed.
+    mem::VAddr c = alloc.malloc(38 * sim::kMiB);
+    EXPECT_NE(c, 0u);
+    EXPECT_EQ(stats.get("torch.cacheFlushes"), 1u);
+    EXPECT_EQ(stats.get("torch.oomEvents"), 0u);
+}
+
+TEST(Allocator, HardOomReturnsZero)
+{
+    sim::StatSet stats;
+    TestSource src(8 * sim::kMiB);
+    CachingAllocator alloc(src, stats);
+    EXPECT_EQ(alloc.malloc(64 * sim::kMiB), 0u);
+    EXPECT_EQ(stats.get("torch.oomEvents"), 1u);
+}
+
+TEST(Allocator, InactiveBytesLedgerIsConsistent)
+{
+    Fixture f;
+    // Everything reserved minus active must equal inactive bytes.
+    std::vector<mem::VAddr> live;
+    for (int i = 0; i < 10; ++i)
+        live.push_back(f.alloc.malloc((i + 1) * 300 * 1024));
+    for (std::size_t i = 0; i < live.size(); i += 2) {
+        f.alloc.free(live[i]);
+        live[i] = 0;
+    }
+    EXPECT_EQ(static_cast<std::uint64_t>(f.src.inactiveBytes),
+              f.alloc.reservedBytes() - f.alloc.activeBytes());
+    for (auto p : live)
+        if (p)
+            f.alloc.free(p);
+    EXPECT_EQ(static_cast<std::uint64_t>(f.src.inactiveBytes),
+              f.alloc.reservedBytes());
+}
+
+TEST(Allocator, ActiveBytesTrackRoundedSizes)
+{
+    Fixture f;
+    mem::VAddr p = f.alloc.malloc(1000); // rounds to 1024
+    EXPECT_EQ(f.alloc.activeBytes(), 1024u);
+    EXPECT_EQ(f.alloc.activeBlockCount(), 1u);
+    f.alloc.free(p);
+    EXPECT_EQ(f.alloc.activeBytes(), 0u);
+}
+
+TEST(Allocator, PeakStatsAreHighWatermarks)
+{
+    Fixture f;
+    mem::VAddr a = f.alloc.malloc(4 * sim::kMiB);
+    f.alloc.free(a);
+    f.alloc.malloc(1 * sim::kMiB);
+    EXPECT_EQ(f.stats.get("torch.peakActiveBytes"), 4 * sim::kMiB);
+}
+
+TEST(AllocatorDeath, FreeOfUnknownPanics)
+{
+    Fixture f;
+    EXPECT_DEATH(f.alloc.free(0xdead000), "unknown");
+}
+
+TEST(Allocator, AllocationPatternIsDeterministic)
+{
+    // Two identical allocators performing the same sequence must
+    // produce identical addresses — the property the correlation
+    // tables rely on across iterations.
+    sim::StatSet s1, s2;
+    TestSource src1(256 * sim::kMiB), src2(256 * sim::kMiB);
+    CachingAllocator a1(src1, s1), a2(src2, s2);
+    std::vector<mem::VAddr> v1, v2;
+    for (int round = 0; round < 3; ++round) {
+        std::vector<mem::VAddr> p1, p2;
+        for (int i = 0; i < 8; ++i) {
+            p1.push_back(a1.malloc((i % 4 + 1) * 700 * 1024));
+            p2.push_back(a2.malloc((i % 4 + 1) * 700 * 1024));
+        }
+        v1.insert(v1.end(), p1.begin(), p1.end());
+        v2.insert(v2.end(), p2.begin(), p2.end());
+        for (auto p : p1)
+            a1.free(p);
+        for (auto p : p2)
+            a2.free(p);
+    }
+    EXPECT_EQ(v1, v2);
+}
+
+} // namespace

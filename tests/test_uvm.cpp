@@ -1,0 +1,317 @@
+/**
+ * @file
+ * Unit tests for the UVM driver: range registration, the Figure-3
+ * fault pipeline, least-recently-migrated eviction, the inactive
+ * invalidation path, prefetch-queue priority, and pre-eviction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/fault_buffer.hh"
+#include "gpu/gpu_engine.hh"
+#include "gpu/pcie_link.hh"
+#include "mem/frame_pool.hh"
+#include "sim/event_queue.hh"
+#include "sim/stats.hh"
+#include "uvm/driver.hh"
+
+using namespace deepum;
+using namespace deepum::uvm;
+
+namespace {
+
+constexpr std::uint64_t kGpuPages = 4 * mem::kPagesPerBlock; // 4 blocks
+
+struct World {
+    sim::EventQueue eq;
+    sim::StatSet stats;
+    gpu::TimingConfig cfg;
+    gpu::FaultBuffer fb;
+    gpu::PcieLink link{cfg};
+    mem::FramePool frames{kGpuPages};
+    gpu::GpuEngine engine{eq, cfg, fb, stats};
+    Driver drv{eq, cfg, fb, link, frames, stats};
+
+    World()
+    {
+        engine.setBackend(&drv);
+        drv.setEngine(&engine);
+    }
+
+    /** Register @p blocks full UM blocks starting at block 0 VA. */
+    mem::VAddr
+    reg(std::uint64_t blocks, mem::VAddr base = mem::kUmBase)
+    {
+        drv.registerRange(base, blocks * mem::kBlockBytes);
+        return base;
+    }
+
+    /** Run a one-kernel session touching @p blocks. */
+    void
+    touch(std::vector<mem::BlockId> blocks,
+          sim::Tick compute = 100 * sim::kUsec)
+    {
+        kernel_.name = "touch";
+        kernel_.computeNs = compute;
+        kernel_.accesses.clear();
+        for (auto b : blocks)
+            kernel_.accesses.push_back(
+                gpu::BlockAccess{b, 512, false});
+        bool done = false;
+        engine.launch(&kernel_, [&] { done = true; });
+        eq.run();
+        ASSERT_TRUE(done);
+    }
+
+    gpu::KernelInfo kernel_;
+};
+
+TEST(UvmDriver, RegisterCreatesPerBlockRecords)
+{
+    World w;
+    mem::VAddr va = w.reg(2);
+    mem::BlockId b0 = mem::blockOf(va);
+    EXPECT_TRUE(w.drv.knowsBlock(b0));
+    EXPECT_TRUE(w.drv.knowsBlock(b0 + 1));
+    EXPECT_FALSE(w.drv.knowsBlock(b0 + 2));
+    EXPECT_EQ(w.drv.blockInfo(b0).pages, 512u);
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Unpopulated);
+}
+
+TEST(UvmDriver, TailBlockHasPartialPages)
+{
+    World w;
+    w.drv.registerRange(mem::kUmBase,
+                        mem::kBlockBytes + 5 * mem::kPageSize);
+    mem::BlockId b0 = mem::blockOf(mem::kUmBase);
+    EXPECT_EQ(w.drv.blockInfo(b0).pages, 512u);
+    EXPECT_EQ(w.drv.blockInfo(b0 + 1).pages, 5u);
+}
+
+TEST(UvmDriverDeath, DoubleRegisterPanics)
+{
+    World w;
+    w.reg(1);
+    EXPECT_DEATH(w.drv.registerRange(mem::kUmBase, mem::kBlockBytes),
+                 "already registered");
+}
+
+TEST(UvmDriver, FirstTouchFaultsAndZeroFills)
+{
+    World w;
+    mem::VAddr va = w.reg(2);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1});
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Device);
+    EXPECT_EQ(w.stats.get("uvm.zeroFillBlocks"), 2u);
+    EXPECT_EQ(w.stats.get("uvm.migratedBlocks"), 0u); // no HtoD copy
+    EXPECT_EQ(w.stats.get("uvm.pageFaults"), 1024u);
+    EXPECT_EQ(w.stats.get("uvm.replaysSent"), 1u);
+    EXPECT_EQ(w.frames.usedPages(), 1024u);
+}
+
+TEST(UvmDriver, ResidentAccessDoesNotFault)
+{
+    World w;
+    mem::VAddr va = w.reg(1);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0});
+    auto faults = w.stats.get("uvm.pageFaults");
+    w.touch({b0});
+    EXPECT_EQ(w.stats.get("uvm.pageFaults"), faults);
+}
+
+TEST(UvmDriver, EvictionIsLeastRecentlyMigrated)
+{
+    World w;
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    // Fill the 4-block GPU in order b0..b3.
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    // Touching two more evicts the two oldest migrations: b0, b1.
+    w.touch({b0 + 4, b0 + 5});
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Host);
+    EXPECT_EQ(w.drv.blockInfo(b0 + 1).loc, Loc::Host);
+    EXPECT_EQ(w.drv.blockInfo(b0 + 2).loc, Loc::Device);
+    EXPECT_EQ(w.drv.blockInfo(b0 + 4).loc, Loc::Device);
+    EXPECT_EQ(w.stats.get("uvm.evictedBlocks"), 2u);
+    EXPECT_EQ(w.stats.get("uvm.demandEvictions"), 2u);
+}
+
+TEST(UvmDriver, EvictedBlockReloadsWithCopyNotZeroFill)
+{
+    World w;
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    w.touch({b0 + 4, b0 + 5}); // evicts b0, b1
+    auto zf = w.stats.get("uvm.zeroFillBlocks");
+    w.touch({b0}); // reload from host
+    EXPECT_EQ(w.stats.get("uvm.zeroFillBlocks"), zf);
+    EXPECT_EQ(w.stats.get("uvm.migratedBlocks"), 1u);
+    EXPECT_EQ(w.stats.get("uvm.migratedPages"), 512u);
+}
+
+TEST(UvmDriver, InvalidationSkipsWriteback)
+{
+    World w;
+    w.drv.setInvalidationEnabled(true);
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    // Mark the first two blocks' bytes fully inactive (dead PT data).
+    w.drv.markInactiveRange(va, 2 * mem::kBlockBytes, true);
+    auto dtoh = w.link.bytesDtoH();
+    w.touch({b0 + 4, b0 + 5}); // victims are b0, b1: invalidated
+    EXPECT_EQ(w.stats.get("uvm.invalidatedBlocks"), 2u);
+    EXPECT_EQ(w.stats.get("uvm.evictedBlocks"), 0u);
+    EXPECT_EQ(w.link.bytesDtoH(), dtoh); // no copy-back
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Unpopulated);
+}
+
+TEST(UvmDriver, PartiallyInactiveBlockStillWritesBack)
+{
+    World w;
+    w.drv.setInvalidationEnabled(true);
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    // Only half of b0 is inactive: must not be invalidated.
+    w.drv.markInactiveRange(va, mem::kBlockBytes / 2, true);
+    w.touch({b0 + 4});
+    EXPECT_EQ(w.stats.get("uvm.invalidatedBlocks"), 0u);
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Host);
+}
+
+TEST(UvmDriver, InvalidationDisabledAlwaysWritesBack)
+{
+    World w; // invalidation off by default (naive UM)
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    w.drv.markInactiveRange(va, 2 * mem::kBlockBytes, true);
+    w.touch({b0 + 4});
+    EXPECT_EQ(w.stats.get("uvm.invalidatedBlocks"), 0u);
+    EXPECT_EQ(w.stats.get("uvm.evictedBlocks"), 1u);
+}
+
+TEST(UvmDriver, InactiveAccountingRoundTrips)
+{
+    World w;
+    mem::VAddr va = w.reg(1);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.drv.markInactiveRange(va, mem::kBlockBytes, true);
+    EXPECT_TRUE(w.drv.blockInfo(b0).fullyInactive());
+    w.drv.markInactiveRange(va + 4096, 512, false);
+    EXPECT_FALSE(w.drv.blockInfo(b0).fullyInactive());
+    w.drv.markInactiveRange(va + 4096, 512, true);
+    EXPECT_TRUE(w.drv.blockInfo(b0).fullyInactive());
+}
+
+TEST(UvmDriver, PrefetchMigratesWithoutFaults)
+{
+    World w;
+    mem::VAddr va = w.reg(2);
+    mem::BlockId b0 = mem::blockOf(va);
+    EXPECT_TRUE(w.drv.enqueuePrefetch(b0, 0));
+    EXPECT_FALSE(w.drv.enqueuePrefetch(b0, 0)); // duplicate rejected
+    w.eq.run();
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Device);
+    EXPECT_TRUE(w.drv.blockInfo(b0).prefetched);
+    EXPECT_EQ(w.stats.get("uvm.pageFaults"), 0u);
+    EXPECT_EQ(w.stats.get("uvm.prefetchCompleted"), 1u);
+    // Rejected once resident, too.
+    EXPECT_FALSE(w.drv.enqueuePrefetch(b0, 0));
+}
+
+TEST(UvmDriver, PrefetchOfUnknownBlockRejected)
+{
+    World w;
+    EXPECT_FALSE(w.drv.enqueuePrefetch(12345, 0));
+}
+
+TEST(UvmDriver, AccessedPrefetchCountsUseful)
+{
+    World w;
+    mem::VAddr va = w.reg(1);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.drv.enqueuePrefetch(b0, 0);
+    w.eq.run();
+    w.touch({b0});
+    EXPECT_EQ(w.stats.get("uvm.prefetchUseful"), 1u);
+    EXPECT_FALSE(w.drv.blockInfo(b0).prefetched);
+}
+
+TEST(UvmDriver, EvictedUnusedPrefetchCountsWasted)
+{
+    World w;
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.drv.enqueuePrefetch(b0 + 5, 0); // never used
+    w.eq.run();
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3}); // evicts the prefetch
+    EXPECT_EQ(w.stats.get("uvm.prefetchWasted"), 1u);
+}
+
+TEST(UvmDriver, PreEvictionFreesFramesOffTheFaultPath)
+{
+    World w;
+    mem::VAddr va = w.reg(5);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3}); // GPU full
+    EXPECT_EQ(w.frames.freePages(), 0u);
+    EXPECT_TRUE(w.drv.preEvictOne());
+    EXPECT_FALSE(w.drv.preEvictOne()); // migration thread now busy
+    w.eq.run();
+    EXPECT_EQ(w.frames.freePages(), 512u);
+    EXPECT_EQ(w.stats.get("uvm.preEvictions"), 1u);
+    EXPECT_EQ(w.stats.get("uvm.demandEvictions"), 0u);
+    // The next fault needs no eviction.
+    w.touch({b0 + 4});
+    EXPECT_EQ(w.stats.get("uvm.demandEvictions"), 0u);
+}
+
+TEST(UvmDriver, UnregisterReleasesResidentFrames)
+{
+    World w;
+    mem::VAddr va = w.reg(2);
+    mem::BlockId b0 = mem::blockOf(va);
+    w.touch({b0, b0 + 1});
+    EXPECT_EQ(w.frames.usedPages(), 1024u);
+    w.drv.unregisterRange(va, 2 * mem::kBlockBytes);
+    EXPECT_EQ(w.frames.usedPages(), 0u);
+    EXPECT_FALSE(w.drv.knowsBlock(b0));
+}
+
+TEST(UvmDriver, FaultQueueHasPriorityOverPrefetchQueue)
+{
+    World w;
+    mem::VAddr va = w.reg(6);
+    mem::BlockId b0 = mem::blockOf(va);
+    // Queue a slow prefetch, then fault on a different block. The
+    // fault must be fully handled even though a prefetch was queued
+    // first; the prefetched block also lands eventually.
+    w.drv.enqueuePrefetch(b0 + 5, 0);
+    w.touch({b0});
+    EXPECT_EQ(w.drv.blockInfo(b0).loc, Loc::Device);
+    EXPECT_EQ(w.drv.blockInfo(b0 + 5).loc, Loc::Device);
+    EXPECT_EQ(w.stats.get("uvm.replaysSent"), 1u);
+}
+
+TEST(UvmDriver, DirtyEvictionTrafficIsSymmetric)
+{
+    World w;
+    mem::VAddr va = w.reg(8, mem::kUmBase);
+    mem::BlockId b0 = mem::blockOf(va);
+    // Two rounds over 8 blocks on a 4-block GPU: every block cycles.
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    w.touch({b0 + 4, b0 + 5, b0 + 6, b0 + 7});
+    w.touch({b0, b0 + 1, b0 + 2, b0 + 3});
+    // 4 blocks were written back and 4 reloaded in the last step.
+    EXPECT_EQ(w.stats.get("uvm.evictedBlocks"),
+              w.stats.get("uvm.migratedBlocks") + 4u);
+}
+
+} // namespace
