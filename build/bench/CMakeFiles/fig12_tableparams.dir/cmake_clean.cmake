@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_tableparams.dir/fig12_tableparams.cpp.o"
+  "CMakeFiles/fig12_tableparams.dir/fig12_tableparams.cpp.o.d"
+  "fig12_tableparams"
+  "fig12_tableparams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_tableparams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

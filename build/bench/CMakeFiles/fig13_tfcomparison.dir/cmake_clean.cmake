@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_tfcomparison.dir/fig13_tfcomparison.cpp.o"
+  "CMakeFiles/fig13_tfcomparison.dir/fig13_tfcomparison.cpp.o.d"
+  "fig13_tfcomparison"
+  "fig13_tfcomparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_tfcomparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table03_maxbatch.dir/table03_maxbatch.cpp.o"
+  "CMakeFiles/table03_maxbatch.dir/table03_maxbatch.cpp.o.d"
+  "table03_maxbatch"
+  "table03_maxbatch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table03_maxbatch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

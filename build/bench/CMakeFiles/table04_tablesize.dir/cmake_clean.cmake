@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table04_tablesize.dir/table04_tablesize.cpp.o"
+  "CMakeFiles/table04_tablesize.dir/table04_tablesize.cpp.o.d"
+  "table04_tablesize"
+  "table04_tablesize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table04_tablesize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table05_faults.dir/table05_faults.cpp.o"
+  "CMakeFiles/table05_faults.dir/table05_faults.cpp.o.d"
+  "table05_faults"
+  "table05_faults.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table05_faults.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

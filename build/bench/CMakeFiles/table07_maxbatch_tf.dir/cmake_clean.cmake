@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table07_maxbatch_tf.dir/table07_maxbatch_tf.cpp.o"
+  "CMakeFiles/table07_maxbatch_tf.dir/table07_maxbatch_tf.cpp.o.d"
+  "table07_maxbatch_tf"
+  "table07_maxbatch_tf.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table07_maxbatch_tf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

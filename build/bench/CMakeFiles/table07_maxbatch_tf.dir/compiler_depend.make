@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table07_maxbatch_tf.
+# This may be replaced when dependencies are built.

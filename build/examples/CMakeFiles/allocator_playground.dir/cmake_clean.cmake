@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/allocator_playground.dir/allocator_playground.cpp.o"
+  "CMakeFiles/allocator_playground.dir/allocator_playground.cpp.o.d"
+  "allocator_playground"
+  "allocator_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/allocator_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,62 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/autotm.cc" "src/CMakeFiles/deepum.dir/baselines/autotm.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/autotm.cc.o.d"
+  "/root/repo/src/baselines/capuchin.cc" "src/CMakeFiles/deepum.dir/baselines/capuchin.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/capuchin.cc.o.d"
+  "/root/repo/src/baselines/lms.cc" "src/CMakeFiles/deepum.dir/baselines/lms.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/lms.cc.o.d"
+  "/root/repo/src/baselines/oracle.cc" "src/CMakeFiles/deepum.dir/baselines/oracle.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/oracle.cc.o.d"
+  "/root/repo/src/baselines/policy.cc" "src/CMakeFiles/deepum.dir/baselines/policy.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/policy.cc.o.d"
+  "/root/repo/src/baselines/runner.cc" "src/CMakeFiles/deepum.dir/baselines/runner.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/runner.cc.o.d"
+  "/root/repo/src/baselines/sentinel.cc" "src/CMakeFiles/deepum.dir/baselines/sentinel.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/sentinel.cc.o.d"
+  "/root/repo/src/baselines/swap_executor.cc" "src/CMakeFiles/deepum.dir/baselines/swap_executor.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/swap_executor.cc.o.d"
+  "/root/repo/src/baselines/swapadvisor.cc" "src/CMakeFiles/deepum.dir/baselines/swapadvisor.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/swapadvisor.cc.o.d"
+  "/root/repo/src/baselines/vdnn.cc" "src/CMakeFiles/deepum.dir/baselines/vdnn.cc.o" "gcc" "src/CMakeFiles/deepum.dir/baselines/vdnn.cc.o.d"
+  "/root/repo/src/core/block_correlation_table.cc" "src/CMakeFiles/deepum.dir/core/block_correlation_table.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/block_correlation_table.cc.o.d"
+  "/root/repo/src/core/correlator.cc" "src/CMakeFiles/deepum.dir/core/correlator.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/correlator.cc.o.d"
+  "/root/repo/src/core/deepum.cc" "src/CMakeFiles/deepum.dir/core/deepum.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/deepum.cc.o.d"
+  "/root/repo/src/core/deepum_policy.cc" "src/CMakeFiles/deepum.dir/core/deepum_policy.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/deepum_policy.cc.o.d"
+  "/root/repo/src/core/exec_correlation_table.cc" "src/CMakeFiles/deepum.dir/core/exec_correlation_table.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/exec_correlation_table.cc.o.d"
+  "/root/repo/src/core/execution_id_table.cc" "src/CMakeFiles/deepum.dir/core/execution_id_table.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/execution_id_table.cc.o.d"
+  "/root/repo/src/core/pre_evictor.cc" "src/CMakeFiles/deepum.dir/core/pre_evictor.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/pre_evictor.cc.o.d"
+  "/root/repo/src/core/prefetcher.cc" "src/CMakeFiles/deepum.dir/core/prefetcher.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/prefetcher.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/CMakeFiles/deepum.dir/core/runtime.cc.o" "gcc" "src/CMakeFiles/deepum.dir/core/runtime.cc.o.d"
+  "/root/repo/src/gpu/fault_buffer.cc" "src/CMakeFiles/deepum.dir/gpu/fault_buffer.cc.o" "gcc" "src/CMakeFiles/deepum.dir/gpu/fault_buffer.cc.o.d"
+  "/root/repo/src/gpu/gpu_engine.cc" "src/CMakeFiles/deepum.dir/gpu/gpu_engine.cc.o" "gcc" "src/CMakeFiles/deepum.dir/gpu/gpu_engine.cc.o.d"
+  "/root/repo/src/gpu/pcie_link.cc" "src/CMakeFiles/deepum.dir/gpu/pcie_link.cc.o" "gcc" "src/CMakeFiles/deepum.dir/gpu/pcie_link.cc.o.d"
+  "/root/repo/src/harness/energy.cc" "src/CMakeFiles/deepum.dir/harness/energy.cc.o" "gcc" "src/CMakeFiles/deepum.dir/harness/energy.cc.o.d"
+  "/root/repo/src/harness/experiment.cc" "src/CMakeFiles/deepum.dir/harness/experiment.cc.o" "gcc" "src/CMakeFiles/deepum.dir/harness/experiment.cc.o.d"
+  "/root/repo/src/harness/report.cc" "src/CMakeFiles/deepum.dir/harness/report.cc.o" "gcc" "src/CMakeFiles/deepum.dir/harness/report.cc.o.d"
+  "/root/repo/src/harness/session.cc" "src/CMakeFiles/deepum.dir/harness/session.cc.o" "gcc" "src/CMakeFiles/deepum.dir/harness/session.cc.o.d"
+  "/root/repo/src/mem/frame_pool.cc" "src/CMakeFiles/deepum.dir/mem/frame_pool.cc.o" "gcc" "src/CMakeFiles/deepum.dir/mem/frame_pool.cc.o.d"
+  "/root/repo/src/mem/va_space.cc" "src/CMakeFiles/deepum.dir/mem/va_space.cc.o" "gcc" "src/CMakeFiles/deepum.dir/mem/va_space.cc.o.d"
+  "/root/repo/src/models/builder.cc" "src/CMakeFiles/deepum.dir/models/builder.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/builder.cc.o.d"
+  "/root/repo/src/models/dcgan.cc" "src/CMakeFiles/deepum.dir/models/dcgan.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/dcgan.cc.o.d"
+  "/root/repo/src/models/dlrm.cc" "src/CMakeFiles/deepum.dir/models/dlrm.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/dlrm.cc.o.d"
+  "/root/repo/src/models/mobilenet.cc" "src/CMakeFiles/deepum.dir/models/mobilenet.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/mobilenet.cc.o.d"
+  "/root/repo/src/models/registry.cc" "src/CMakeFiles/deepum.dir/models/registry.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/registry.cc.o.d"
+  "/root/repo/src/models/resnet.cc" "src/CMakeFiles/deepum.dir/models/resnet.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/resnet.cc.o.d"
+  "/root/repo/src/models/transformer.cc" "src/CMakeFiles/deepum.dir/models/transformer.cc.o" "gcc" "src/CMakeFiles/deepum.dir/models/transformer.cc.o.d"
+  "/root/repo/src/sim/event_queue.cc" "src/CMakeFiles/deepum.dir/sim/event_queue.cc.o" "gcc" "src/CMakeFiles/deepum.dir/sim/event_queue.cc.o.d"
+  "/root/repo/src/sim/logging.cc" "src/CMakeFiles/deepum.dir/sim/logging.cc.o" "gcc" "src/CMakeFiles/deepum.dir/sim/logging.cc.o.d"
+  "/root/repo/src/sim/sim_object.cc" "src/CMakeFiles/deepum.dir/sim/sim_object.cc.o" "gcc" "src/CMakeFiles/deepum.dir/sim/sim_object.cc.o.d"
+  "/root/repo/src/sim/stats.cc" "src/CMakeFiles/deepum.dir/sim/stats.cc.o" "gcc" "src/CMakeFiles/deepum.dir/sim/stats.cc.o.d"
+  "/root/repo/src/torch/allocator.cc" "src/CMakeFiles/deepum.dir/torch/allocator.cc.o" "gcc" "src/CMakeFiles/deepum.dir/torch/allocator.cc.o.d"
+  "/root/repo/src/torch/tape.cc" "src/CMakeFiles/deepum.dir/torch/tape.cc.o" "gcc" "src/CMakeFiles/deepum.dir/torch/tape.cc.o.d"
+  "/root/repo/src/torch/um_source.cc" "src/CMakeFiles/deepum.dir/torch/um_source.cc.o" "gcc" "src/CMakeFiles/deepum.dir/torch/um_source.cc.o.d"
+  "/root/repo/src/uvm/driver.cc" "src/CMakeFiles/deepum.dir/uvm/driver.cc.o" "gcc" "src/CMakeFiles/deepum.dir/uvm/driver.cc.o.d"
+  "/root/repo/src/uvm/eviction_policy.cc" "src/CMakeFiles/deepum.dir/uvm/eviction_policy.cc.o" "gcc" "src/CMakeFiles/deepum.dir/uvm/eviction_policy.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_prefetch.dir/test_core_prefetch.cpp.o"
+  "CMakeFiles/test_core_prefetch.dir/test_core_prefetch.cpp.o.d"
+  "test_core_prefetch"
+  "test_core_prefetch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_prefetch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_torch_allocator.dir/test_torch_allocator.cpp.o"
+  "CMakeFiles/test_torch_allocator.dir/test_torch_allocator.cpp.o.d"
+  "test_torch_allocator"
+  "test_torch_allocator.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_torch_allocator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

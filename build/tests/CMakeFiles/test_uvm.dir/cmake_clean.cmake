@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_uvm.dir/test_uvm.cpp.o"
+  "CMakeFiles/test_uvm.dir/test_uvm.cpp.o.d"
+  "test_uvm"
+  "test_uvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_uvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
