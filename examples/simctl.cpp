@@ -13,6 +13,7 @@
  *          [--lookahead 8] [--rows 2048 --assoc 2 --succs 4]
  *          [--no-prefetch] [--no-preevict] [--no-invalidate]
  *          [--seed 12345] [--dump-stats]
+ *          [--trace trace.json] [--stats-json stats.json]
  */
 
 #include <cstdio>
@@ -42,16 +43,44 @@ usage()
         "[--succs N]\n"
         "              [--no-prefetch] [--no-preevict] "
         "[--no-invalidate]\n"
-        "              [--seed N] [--dump-stats] [--list-models]\n");
+        "              [--seed N] [--dump-stats] [--list-models]\n"
+        "              [--trace <file>] [--stats-json <file>]\n"
+        "\n"
+        "  --trace <file>       write a Chrome/Perfetto trace of the "
+        "run\n"
+        "  --stats-json <file>  write the full stat registry as "
+        "JSON\n");
     std::exit(2);
+}
+
+std::string
+strArg(int argc, char **argv, int &i)
+{
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "simctl: %s requires an argument\n",
+                     argv[i]);
+        usage();
+    }
+    return argv[++i];
 }
 
 std::uint64_t
 numArg(int argc, char **argv, int &i)
 {
-    if (i + 1 >= argc)
+    if (i + 1 >= argc) {
+        std::fprintf(stderr, "simctl: %s requires an argument\n",
+                     argv[i]);
         usage();
-    return std::strtoull(argv[++i], nullptr, 10);
+    }
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(argv[++i], &end, 10);
+    if (end == argv[i] || *end != '\0') {
+        std::fprintf(stderr,
+                     "simctl: %s expects a number, got '%s'\n",
+                     argv[i - 1], argv[i]);
+        usage();
+    }
+    return v;
 }
 
 } // namespace
@@ -67,12 +96,12 @@ main(int argc, char **argv)
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
-        if (a == "--model" && i + 1 < argc) {
-            model = argv[++i];
+        if (a == "--model") {
+            model = strArg(argc, argv, i);
         } else if (a == "--batch") {
             batch = numArg(argc, argv, i);
-        } else if (a == "--system" && i + 1 < argc) {
-            system = argv[++i];
+        } else if (a == "--system") {
+            system = strArg(argc, argv, i);
         } else if (a == "--gpu-mib") {
             cfg.gpuMemBytes = numArg(argc, argv, i) * sim::kMiB;
         } else if (a == "--host-mib") {
@@ -105,11 +134,17 @@ main(int argc, char **argv)
             cfg.seed = numArg(argc, argv, i);
         } else if (a == "--dump-stats") {
             dump_stats = true;
+        } else if (a == "--trace") {
+            cfg.traceFile = strArg(argc, argv, i);
+        } else if (a == "--stats-json") {
+            cfg.statsJsonFile = strArg(argc, argv, i);
         } else if (a == "--list-models") {
             for (const auto &m : models::modelNames())
                 std::printf("%s\n", m.c_str());
             return 0;
         } else {
+            std::fprintf(stderr, "simctl: unknown option '%s'\n",
+                         a.c_str());
             usage();
         }
     }

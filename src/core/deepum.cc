@@ -74,6 +74,18 @@ DeepUm::onKernelEnd(const gpu::KernelInfo &k)
 }
 
 void
+DeepUm::onBlockMigrated(mem::BlockId block, bool was_prefetch)
+{
+    if (!was_prefetch)
+        return;
+    // Feed the lead-time distribution: how long before its predicted
+    // consumer launches did this prefetch land?
+    prefetcher_.onPrefetchCompleted(block,
+                                    drv_.blockInfo(block).prefetchExecId,
+                                    drv_.eventq().now());
+}
+
+void
 DeepUm::onMigrationIdle()
 {
     if (cfg_.preevict)

@@ -58,6 +58,7 @@ class DeepUm : public uvm::DriverListener
 
     void onFaultBatch(const std::vector<mem::BlockId> &blocks) override;
     void onKernelEnd(const gpu::KernelInfo &k) override;
+    void onBlockMigrated(mem::BlockId block, bool was_prefetch) override;
     void onMigrationIdle() override;
     void onBlockAccessed(mem::BlockId block) override;
     void onPrefetchUseful(mem::BlockId block,

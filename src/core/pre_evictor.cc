@@ -1,5 +1,7 @@
 #include "core/pre_evictor.hh"
 
+#include "sim/trace.hh"
+
 namespace deepum::core {
 
 PreEvictor::PreEvictor(uvm::Driver &drv, std::uint64_t watermark_pages,
@@ -17,8 +19,15 @@ PreEvictor::poke()
     ++pokes_;
     if (drv_.frames().freePages() >= watermark_)
         return;
-    if (drv_.preEvictOne())
+    if (drv_.preEvictOne()) {
         ++started_;
+        if (auto *tr = drv_.eventq().tracer())
+            tr->instant(sim::Track::Migration, "preEvict",
+                        drv_.eventq().now(),
+                        {sim::Tracer::arg(
+                            "freePages",
+                            drv_.frames().freePages())});
+    }
 }
 
 } // namespace deepum::core

@@ -1,5 +1,7 @@
 #include "core/prefetcher.hh"
 
+#include "sim/trace.hh"
+
 namespace deepum::core {
 
 Prefetcher::Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
@@ -28,7 +30,12 @@ Prefetcher::Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
       blocksIssued_(stats, "prefetcher.blocksIssued",
                     "prefetch candidates issued to the driver"),
       mispredictedLaunches_(stats, "prefetcher.mispredictedLaunches",
-                            "actual launches that broke the window")
+                            "actual launches that broke the window"),
+      lateCompletions_(stats, "prefetcher.lateCompletions",
+                       "prefetches completing after their kernel began"),
+      leadTime_(stats, "prefetcher.leadTime",
+                "ticks between prefetch completion and consuming-"
+                "kernel launch")
 {
 }
 
@@ -86,8 +93,33 @@ Prefetcher::issue(std::size_t slot, mem::BlockId b)
 }
 
 void
+Prefetcher::onPrefetchCompleted(mem::BlockId block, ExecId exec_id,
+                                sim::Tick at)
+{
+    (void)block;
+    if (exec_id == kNoExecId)
+        return;
+    if (!slots_.empty() && slots_[0].exec == exec_id) {
+        // The consuming kernel is already running: the prefetch
+        // arrived late and saved nothing of its lead time.
+        ++lateCompletions_;
+        leadTime_.sample(0);
+        return;
+    }
+    pendingDone_[exec_id].push_back(at);
+}
+
+void
 Prefetcher::onKernelLaunch(ExecId id)
 {
+    auto pend = pendingDone_.find(id);
+    if (pend != pendingDone_.end()) {
+        sim::Tick now = drv_.eventq().now();
+        for (sim::Tick done_at : pend->second)
+            leadTime_.sample(now >= done_at ? now - done_at : 0);
+        pendingDone_.erase(pend);
+    }
+
     if (slots_.empty()) {
         slots_.push_back(Slot{id, {}});
         return;
@@ -123,6 +155,12 @@ Prefetcher::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
     chainDepth_ = 0;
     budget_ = cfg_.chainEnqueueCap;
     ++chainsStarted_;
+    if (auto *tr = drv_.eventq().tracer())
+        tr->instant(sim::Track::PrefetchQueue, "chainStart",
+                    drv_.eventq().now(),
+                    {sim::Tracer::arg("exec", std::uint64_t(cur)),
+                     sim::Tracer::arg("faultedBlocks",
+                                      std::uint64_t(blocks.size()))});
 
     if (slots_.empty())
         slots_.push_back(Slot{cur, {}});
@@ -245,6 +283,12 @@ Prefetcher::transitionChain()
         predHist_ = ExecHistory{predHist_[1], predHist_[2], predCur_};
         predCur_ = next;
         ++chainDepth_;
+        if (auto *tr = drv_.eventq().tracer())
+            tr->instant(sim::Track::PrefetchQueue, "predictNext",
+                        drv_.eventq().now(),
+                        {sim::Tracer::arg("exec", std::uint64_t(next)),
+                         sim::Tracer::arg("depth",
+                                          std::uint64_t(chainDepth_))});
         while (slots_.size() <= chainDepth_)
             slots_.push_back(Slot{});
         slots_[chainDepth_].exec = next;

@@ -52,6 +52,14 @@ class Prefetcher
     void onKernelEnd();
 
     /**
+     * A prefetched block became resident at @p at, predicted for
+     * @p exec_id. Feeds the lead-time distribution (how far ahead of
+     * the consuming kernel's launch the prefetch completed).
+     */
+    void onPrefetchCompleted(mem::BlockId block, ExecId exec_id,
+                             sim::Tick at);
+
+    /**
      * @return true if @p b is predicted to be used by the current or
      * next N kernels (the pre-eviction protection test).
      */
@@ -110,6 +118,9 @@ class Prefetcher
     std::deque<Slot> slots_; ///< [0] = running kernel, then predicted
     std::unordered_map<mem::BlockId, std::uint32_t> protected_;
 
+    /** Prefetch completion ticks awaiting their predicted launch. */
+    std::unordered_map<ExecId, std::vector<sim::Tick>> pendingDone_;
+
     // Chain state.
     bool active_ = false;
     bool paused_ = false;
@@ -129,6 +140,8 @@ class Prefetcher
     sim::Scalar chainPauses_;
     sim::Scalar blocksIssued_;
     sim::Scalar mispredictedLaunches_;
+    sim::Scalar lateCompletions_;
+    sim::Distribution leadTime_;
 };
 
 } // namespace deepum::core

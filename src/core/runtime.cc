@@ -46,11 +46,11 @@ Runtime::memPrefetchAsync(mem::VAddr va, std::uint64_t bytes)
 }
 
 void
-Runtime::launchKernel(const gpu::KernelInfo *k,
-                      std::function<void()> on_done)
+Runtime::launchKernel(gpu::KernelInfo *k, std::function<void()> on_done)
 {
     if (deepum_ != nullptr) {
         ExecId id = execIds_.lookupOrAssign(*k);
+        k->execId = id;
         deepum_->notifyKernelLaunch(id);
     }
     engine_.launch(k, std::move(on_done));

@@ -65,11 +65,11 @@ class Runtime
     std::size_t memPrefetchAsync(mem::VAddr va, std::uint64_t bytes);
 
     /**
-     * Intercepted kernel launch: assign the execution ID, deliver the
-     * launch callback to the DeepUM driver, then launch for real.
+     * Intercepted kernel launch: assign the execution ID (stamped
+     * into @p k for diagnostics/tracing), deliver the launch
+     * callback to the DeepUM driver, then launch for real.
      */
-    void launchKernel(const gpu::KernelInfo *k,
-                      std::function<void()> on_done);
+    void launchKernel(gpu::KernelInfo *k, std::function<void()> on_done);
 
     /** Runtime-side execution ID table. */
     const ExecutionIdTable &execIds() const { return execIds_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace deepum::gpu {
 
@@ -35,6 +36,7 @@ GpuEngine::launch(const KernelInfo *kernel, std::function<void()> on_done)
     onDone_ = std::move(on_done);
     nextAccess_ = 0;
     stalled_ = false;
+    kernelStart_ = curTick();
     ++kernelsLaunched_;
 
     backend_->onKernelBegin(*kernel_);
@@ -61,6 +63,15 @@ GpuEngine::advance()
         const KernelInfo *k = kernel_;
         auto done = std::move(onDone_);
         kernel_ = nullptr;
+        if (auto *tr = eventq().tracer())
+            tr->duration(
+                sim::Track::Gpu,
+                k->name + "#" + std::to_string(k->execId),
+                kernelStart_, curTick(),
+                {sim::Tracer::arg("op", k->name),
+                 sim::Tracer::arg("execId", std::uint64_t(k->execId)),
+                 sim::Tracer::arg("accesses",
+                                  std::uint64_t(k->accesses.size()))});
         backend_->onKernelEnd(*k);
         done();
         return;
@@ -94,6 +105,12 @@ GpuEngine::advance()
     if (missed) {
         stalled_ = true;
         stallStart_ = curTick();
+        if (auto *tr = eventq().tracer())
+            tr->instant(sim::Track::Gpu, "stallOnFault", curTick(),
+                        {sim::Tracer::arg("op", kernel_->name),
+                         sim::Tracer::arg(
+                             "progress",
+                             std::uint64_t(nextAccess_))});
         backend_->faultInterrupt();
         return; // replay() resumes us
     }
@@ -122,6 +139,9 @@ GpuEngine::replay()
     ++replays_;
     stalled_ = false;
     stallTicks_ += curTick() - stallStart_;
+    if (auto *tr = eventq().tracer())
+        tr->duration(sim::Track::Gpu, "stall", stallStart_, curTick(),
+                     {sim::Tracer::arg("op", kernel_->name)});
     advance();
 }
 

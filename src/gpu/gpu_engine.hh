@@ -78,6 +78,7 @@ class GpuEngine : public sim::SimObject
     std::size_t nextAccess_ = 0;
     bool stalled_ = false;
     sim::Tick stallStart_ = 0;
+    sim::Tick kernelStart_ = 0;
 
     sim::Scalar kernelsLaunched_;
     sim::Scalar batchesIssued_;

@@ -30,6 +30,7 @@ struct BlockAccess {
 struct KernelInfo {
     std::string name;                   ///< kernel symbol name
     std::uint64_t argHash = 0;          ///< hash of launch arguments
+    std::uint32_t execId = 0;           ///< execution ID (0 = unassigned)
     sim::Tick computeNs = 0;            ///< pure compute time
     std::vector<BlockAccess> accesses;  ///< ordered block touches
 

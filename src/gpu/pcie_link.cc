@@ -1,3 +1,27 @@
 #include "gpu/pcie_link.hh"
 
-// Header-only today; see fault_buffer.cc for rationale.
+#include "sim/trace.hh"
+
+namespace deepum::gpu {
+
+sim::Tick
+PcieLink::acquire(sim::Tick now, std::uint64_t bytes, Dir dir)
+{
+    sim::Tick start = now > busyUntil_ ? now : busyUntil_;
+    sim::Tick dur = cfg_.pcieLatency + cfg_.copyTicks(bytes);
+    busyUntil_ = start + dur;
+    busyTicks_ += dur;
+    if (dir == Dir::HostToDev)
+        bytesHtoD_ += bytes;
+    else
+        bytesDtoH_ += bytes;
+    if (tracer_ != nullptr)
+        tracer_->duration(
+            sim::Track::Pcie, "xfer", start, busyUntil_,
+            {sim::Tracer::arg("dir", dir == Dir::HostToDev ? "HtoD"
+                                                           : "DtoH"),
+             sim::Tracer::arg("bytes", bytes)});
+    return busyUntil_;
+}
+
+} // namespace deepum::gpu

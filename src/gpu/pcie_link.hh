@@ -16,6 +16,10 @@
 #include "gpu/timing.hh"
 #include "sim/types.hh"
 
+namespace deepum::sim {
+class Tracer;
+}
+
 namespace deepum::gpu {
 
 /** Transfer direction, for statistics. */
@@ -27,23 +31,14 @@ class PcieLink
   public:
     explicit PcieLink(const TimingConfig &cfg) : cfg_(cfg) {}
 
+    /** Attach a tracer that records one span per transfer. */
+    void setTracer(sim::Tracer *t) { tracer_ = t; }
+
     /**
      * Reserve the link for @p bytes starting no earlier than @p now.
      * @return the completion tick.
      */
-    sim::Tick
-    acquire(sim::Tick now, std::uint64_t bytes, Dir dir)
-    {
-        sim::Tick start = now > busyUntil_ ? now : busyUntil_;
-        sim::Tick dur = cfg_.pcieLatency + cfg_.copyTicks(bytes);
-        busyUntil_ = start + dur;
-        busyTicks_ += dur;
-        if (dir == Dir::HostToDev)
-            bytesHtoD_ += bytes;
-        else
-            bytesDtoH_ += bytes;
-        return busyUntil_;
-    }
+    sim::Tick acquire(sim::Tick now, std::uint64_t bytes, Dir dir);
 
     /** Earliest tick a new transfer could start. */
     sim::Tick freeAt() const { return busyUntil_; }
@@ -57,6 +52,7 @@ class PcieLink
 
   private:
     const TimingConfig &cfg_;
+    sim::Tracer *tracer_ = nullptr;
     sim::Tick busyUntil_ = 0;
     sim::Tick busyTicks_ = 0;
     std::uint64_t bytesHtoD_ = 0;

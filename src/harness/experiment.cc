@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <fstream>
 #include <memory>
 
 #include "core/deepum.hh"
@@ -14,11 +15,32 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/trace.hh"
 #include "torch/allocator.hh"
 #include "torch/um_source.hh"
 #include "uvm/driver.hh"
 
 namespace deepum::harness {
+
+namespace {
+
+/** Write @p path via @p emit, warning (not failing) on I/O errors. */
+template <typename EmitFn>
+void
+writeFileOrWarn(const std::string &path, const char *what, EmitFn emit)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os) {
+        sim::warn("cannot open %s file %s for writing", what,
+                  path.c_str());
+        return;
+    }
+    emit(os);
+    if (!os)
+        sim::warn("error writing %s file %s", what, path.c_str());
+}
+
+} // namespace
 
 const char *
 systemName(SystemKind kind)
@@ -57,6 +79,15 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
     mem::FramePool frames(gpu_bytes / mem::kPageSize);
     mem::VaSpace va(host_bytes);
 
+    // Tracing is opt-in: with no trace file requested, no Tracer is
+    // attached anywhere and every emission site is a null check.
+    std::unique_ptr<sim::Tracer> tracer;
+    if (!cfg.traceFile.empty()) {
+        tracer = std::make_unique<sim::Tracer>();
+        eq.setTracer(tracer.get());
+        link.setTracer(tracer.get());
+    }
+
     gpu::GpuEngine engine(eq, cfg.timing, fb, stats);
     uvm::Driver driver(eq, cfg.timing, fb, link, frames, stats);
     engine.setBackend(&driver);
@@ -70,11 +101,20 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
     core::Runtime runtime(va, driver, engine, deepum.get());
     torch::UmSegmentSource source(runtime);
     torch::CachingAllocator alloc(source, stats);
+    if (tracer != nullptr)
+        alloc.attachTracer(&eq, tracer.get());
 
     Session session(eq, runtime, alloc, stats, link, tape,
                     cfg.iterations, cfg.seed,
                     /*manual_prefetch=*/kind == SystemKind::OcDnn);
     bool ok = session.run();
+
+    if (tracer != nullptr)
+        writeFileOrWarn(cfg.traceFile, "trace",
+                        [&](std::ostream &os) { tracer->writeJson(os); });
+    if (!cfg.statsJsonFile.empty())
+        writeFileOrWarn(cfg.statsJsonFile, "stats JSON",
+                        [&](std::ostream &os) { stats.dumpJson(os); });
 
     RunResult r;
     r.ok = ok;
@@ -116,6 +156,17 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
 
     for (const auto &[name, s] : stats.all())
         r.stats.emplace(name, s->value());
+    for (const auto &[name, d] : stats.allDists()) {
+        DistSummary ds;
+        ds.count = d->count();
+        ds.min = d->min();
+        ds.max = d->max();
+        ds.mean = d->mean();
+        ds.stddev = d->stddev();
+        ds.p50 = d->percentile(50);
+        ds.p99 = d->percentile(99);
+        r.dists.emplace(name, ds);
+    }
     return r;
 }
 

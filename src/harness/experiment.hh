@@ -43,6 +43,27 @@ struct ExperimentConfig {
     std::uint32_t iterations = 18;
     std::uint32_t warmup = 8;
     std::uint64_t seed = 12345;
+
+    /**
+     * Write a Chrome/Perfetto trace of the run to this path
+     * (empty = tracing off, the zero-cost default). Open the file in
+     * chrome://tracing or https://ui.perfetto.dev.
+     */
+    std::string traceFile;
+
+    /** Write the full stat registry as JSON to this path (empty = off). */
+    std::string statsJsonFile;
+};
+
+/** Reduced view of one Distribution stat at end of run. */
+struct DistSummary {
+    std::uint64_t count = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    double mean = 0.0;
+    double stddev = 0.0;
+    double p50 = 0.0;
+    double p99 = 0.0;
 };
 
 /** Reduced metrics of one run. */
@@ -63,6 +84,9 @@ struct RunResult {
 
     /** Full end-of-run counter dump for tests and debugging. */
     std::map<std::string, std::uint64_t> stats;
+
+    /** End-of-run distribution summaries (fault batch size, ...). */
+    std::map<std::string, DistSummary> dists;
 };
 
 /** Run @p tape once under @p kind. */

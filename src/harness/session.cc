@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace deepum::harness {
 
@@ -166,6 +167,7 @@ Session::processSteps()
             if (inPrologue_) {
                 inPrologue_ = false;
                 stepIdx_ = 0;
+                iterStart_ = eq_.now();
                 continue;
             }
             // Iteration boundary.
@@ -177,11 +179,20 @@ Session::processSteps()
             s.bytesHtoD = link_.bytesHtoD();
             s.bytesDtoH = link_.bytesDtoH();
             snaps_.push_back(s);
+            if (auto *tr = eq_.tracer())
+                tr->duration(
+                    sim::Track::Session,
+                    "iter " + std::to_string(iterDone_), iterStart_,
+                    s.endTick,
+                    {sim::Tracer::arg("iteration",
+                                      std::uint64_t(iterDone_)),
+                     sim::Tracer::arg("pageFaults", s.pageFaults)});
             if (++iterDone_ >= iterations_) {
                 finished_ = true;
                 return;
             }
             stepIdx_ = 0;
+            iterStart_ = s.endTick;
             continue;
         }
 

@@ -99,6 +99,7 @@ class Session
     bool inPrologue_ = true;
     std::size_t stepIdx_ = 0;
     std::uint32_t iterDone_ = 0;
+    sim::Tick iterStart_ = 0; ///< trace: current iteration's begin tick
     bool oom_ = false;
     bool finished_ = false;
 

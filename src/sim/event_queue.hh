@@ -20,6 +20,8 @@
 
 namespace deepum::sim {
 
+class Tracer;
+
 /** Callback type executed when an event fires. */
 using EventFn = std::function<void()>;
 
@@ -72,6 +74,16 @@ class EventQueue
     /** Drop all pending events (used between independent runs). */
     void clear();
 
+    /**
+     * Attach (or detach with nullptr) the Tracer that components
+     * hanging off this queue emit into. The queue does not own it;
+     * null means tracing is off (the default).
+     */
+    void setTracer(Tracer *t) { tracer_ = t; }
+
+    /** The attached tracer, or nullptr when tracing is disabled. */
+    Tracer *tracer() const { return tracer_; }
+
   private:
     struct Entry {
         Tick when;
@@ -90,6 +102,7 @@ class EventQueue
     };
 
     std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    Tracer *tracer_ = nullptr;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;

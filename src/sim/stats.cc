@@ -1,5 +1,8 @@
 #include "sim/stats.hh"
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 
 #include "sim/logging.hh"
@@ -12,12 +15,99 @@ Scalar::Scalar(StatSet &set, std::string name, std::string desc)
     set.add(this);
 }
 
+Distribution::Distribution(StatSet &set, std::string name,
+                           std::string desc)
+    : name_(std::move(name)), desc_(std::move(desc))
+{
+    set.add(this);
+}
+
+double
+Distribution::mean() const
+{
+    if (count_ == 0)
+        return 0.0;
+    return static_cast<double>(sum_) / static_cast<double>(count_);
+}
+
+double
+Distribution::stddev() const
+{
+    if (count_ == 0)
+        return 0.0;
+    double m = mean();
+    double var = sumSq_ / static_cast<double>(count_) - m * m;
+    return var > 0.0 ? std::sqrt(var) : 0.0;
+}
+
+double
+Distribution::percentile(double p) const
+{
+    if (count_ == 0)
+        return 0.0;
+    if (p <= 0.0)
+        return static_cast<double>(min());
+    if (p >= 100.0)
+        return static_cast<double>(max_);
+
+    // Rank of the requested percentile (1-based, ceil).
+    std::uint64_t rank = static_cast<std::uint64_t>(
+        std::ceil(p / 100.0 * static_cast<double>(count_)));
+    if (rank < 1)
+        rank = 1;
+
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < kBuckets; ++i) {
+        if (buckets_[i] == 0)
+            continue;
+        if (seen + buckets_[i] < rank) {
+            seen += buckets_[i];
+            continue;
+        }
+        // The rank falls inside bucket i: interpolate linearly over
+        // the bucket's value range, clamped to observed min/max.
+        double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i) - 1);
+        double hi = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+        lo = std::max(lo, static_cast<double>(min()));
+        hi = std::min(hi, static_cast<double>(max_));
+        if (hi < lo)
+            hi = lo;
+        double frac = static_cast<double>(rank - seen) /
+                      static_cast<double>(buckets_[i]);
+        return lo + (hi - lo) * frac;
+    }
+    return static_cast<double>(max_);
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    sum_ = 0;
+    sumSq_ = 0.0;
+    min_ = ~std::uint64_t(0);
+    max_ = 0;
+    buckets_.fill(0);
+}
+
 void
 StatSet::add(Scalar *s)
 {
+    if (dists_.count(s->name()) != 0)
+        panic("duplicate stat name: %s", s->name().c_str());
     auto [it, inserted] = stats_.emplace(s->name(), s);
     if (!inserted)
         panic("duplicate stat name: %s", s->name().c_str());
+}
+
+void
+StatSet::add(Distribution *d)
+{
+    if (stats_.count(d->name()) != 0)
+        panic("duplicate stat name: %s", d->name().c_str());
+    auto [it, inserted] = dists_.emplace(d->name(), d);
+    if (!inserted)
+        panic("duplicate stat name: %s", d->name().c_str());
 }
 
 std::uint64_t
@@ -31,10 +121,21 @@ StatSet::get(const std::string &name) const
     return it->second->value();
 }
 
+const Distribution *
+StatSet::getDist(const std::string &name) const
+{
+    auto it = dists_.find(name);
+    if (it == dists_.end()) {
+        warn("unknown distribution queried: %s", name.c_str());
+        return nullptr;
+    }
+    return it->second;
+}
+
 bool
 StatSet::has(const std::string &name) const
 {
-    return stats_.count(name) != 0;
+    return stats_.count(name) != 0 || dists_.count(name) != 0;
 }
 
 void
@@ -42,7 +143,22 @@ StatSet::resetAll()
 {
     for (auto &[name, s] : stats_)
         s->reset();
+    for (auto &[name, d] : dists_)
+        d->reset();
 }
+
+namespace {
+
+/** Deterministic shortest-ish float rendering for dumps. */
+std::string
+fmtDouble(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
+} // namespace
 
 void
 StatSet::dump(std::ostream &os) const
@@ -52,6 +168,44 @@ StatSet::dump(std::ostream &os) const
            << std::right << std::setw(16) << s->value()
            << "  # " << s->desc() << '\n';
     }
+    for (const auto &[name, d] : dists_) {
+        os << std::left << std::setw(44) << name << ' '
+           << "count=" << d->count() << " min=" << d->min()
+           << " max=" << d->max()
+           << " mean=" << fmtDouble(d->mean())
+           << " stddev=" << fmtDouble(d->stddev())
+           << " p50=" << fmtDouble(d->percentile(50))
+           << " p99=" << fmtDouble(d->percentile(99))
+           << "  # " << d->desc() << '\n';
+    }
+}
+
+void
+StatSet::dumpJson(std::ostream &os) const
+{
+    os << "{\n  \"scalars\": {";
+    bool first = true;
+    for (const auto &[name, s] : stats_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name
+           << "\": " << s->value();
+        first = false;
+    }
+    os << "\n  },\n  \"distributions\": {";
+    first = true;
+    for (const auto &[name, d] : dists_) {
+        os << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+           << "\"count\": " << d->count()
+           << ", \"min\": " << d->min()
+           << ", \"max\": " << d->max()
+           << ", \"sum\": " << d->sum()
+           << ", \"mean\": " << fmtDouble(d->mean())
+           << ", \"stddev\": " << fmtDouble(d->stddev())
+           << ", \"p50\": " << fmtDouble(d->percentile(50))
+           << ", \"p90\": " << fmtDouble(d->percentile(90))
+           << ", \"p99\": " << fmtDouble(d->percentile(99)) << "}";
+        first = false;
+    }
+    os << "\n  }\n}\n";
 }
 
 } // namespace deepum::sim

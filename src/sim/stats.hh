@@ -2,12 +2,14 @@
  * @file
  * Minimal statistics package.
  *
- * Components own Scalar counters registered into a StatSet; the set
- * can be dumped as text or queried by name in tests and benches.
+ * Components own Scalar counters and Distribution samplers
+ * registered into a StatSet; the set can be dumped as text or JSON,
+ * or queried by name in tests and benches.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <map>
 #include <ostream>
@@ -64,7 +66,92 @@ class Scalar
 };
 
 /**
- * A registry of scalars that supports lookup, reset, and dumping.
+ * A named sample distribution: count/min/max/sum/sum-of-squares plus
+ * fixed log2 histogram buckets, from which dumps derive mean, stddev
+ * and percentile estimates. Bucket 0 holds zero-valued samples;
+ * bucket i (1..64) holds samples in [2^(i-1), 2^i).
+ *
+ * Like Scalar, a Distribution registers itself with its StatSet on
+ * construction and must not outlive it.
+ */
+class Distribution
+{
+  public:
+    /** Number of histogram buckets (see class comment). */
+    static constexpr std::size_t kBuckets = 65;
+
+    Distribution(StatSet &set, std::string name, std::string desc);
+
+    Distribution(const Distribution &) = delete;
+    Distribution &operator=(const Distribution &) = delete;
+
+    /** Record one sample. */
+    void
+    sample(std::uint64_t v)
+    {
+        ++count_;
+        sum_ += v;
+        sumSq_ += static_cast<double>(v) * static_cast<double>(v);
+        if (v < min_)
+            min_ = v;
+        if (v > max_)
+            max_ = v;
+        ++buckets_[bucketOf(v)];
+    }
+
+    std::uint64_t count() const { return count_; }
+    std::uint64_t sum() const { return sum_; }
+    /** Smallest sample (0 when empty). */
+    std::uint64_t min() const { return count_ == 0 ? 0 : min_; }
+    std::uint64_t max() const { return max_; }
+
+    /** Arithmetic mean (0 when empty). */
+    double mean() const;
+
+    /** Population standard deviation (0 when empty). */
+    double stddev() const;
+
+    /**
+     * Percentile estimate from the log2 histogram, linearly
+     * interpolated within the containing bucket. @p p in [0, 100].
+     */
+    double percentile(double p) const;
+
+    /** Histogram access for dumps/tests. */
+    const std::array<std::uint64_t, kBuckets> &buckets() const
+    {
+        return buckets_;
+    }
+
+    /** Forget every sample (between measurement windows). */
+    void reset();
+
+    const std::string &name() const { return name_; }
+    const std::string &desc() const { return desc_; }
+
+  private:
+    /** @return the histogram bucket index holding value @p v. */
+    static std::size_t
+    bucketOf(std::uint64_t v)
+    {
+        if (v == 0)
+            return 0;
+        return 64 - static_cast<std::size_t>(__builtin_clzll(v));
+    }
+
+    std::string name_;
+    std::string desc_;
+    std::uint64_t count_ = 0;
+    std::uint64_t sum_ = 0;
+    double sumSq_ = 0.0;
+    std::uint64_t min_ = ~std::uint64_t(0);
+    std::uint64_t max_ = 0;
+    std::array<std::uint64_t, kBuckets> buckets_{};
+};
+
+/**
+ * A registry of scalars and distributions that supports lookup,
+ * reset, and dumping as text or JSON.
  */
 class StatSet
 {
@@ -76,26 +163,51 @@ class StatSet
     /** Register @p s; called by the Scalar constructor. */
     void add(Scalar *s);
 
+    /** Register @p d; called by the Distribution constructor. */
+    void add(Distribution *d);
+
     /**
-     * Look up a stat by exact name.
+     * Look up a scalar by exact name.
      * @return the value, or 0 and a warning if missing.
      */
     std::uint64_t get(const std::string &name) const;
 
-    /** @return true if a stat with @p name exists. */
+    /**
+     * Look up a distribution by exact name.
+     * @return the distribution, or nullptr and a warning if missing.
+     */
+    const Distribution *getDist(const std::string &name) const;
+
+    /** @return true if a scalar or distribution named @p name exists. */
     bool has(const std::string &name) const;
 
-    /** Zero every registered scalar. */
+    /** Zero every registered scalar and distribution. */
     void resetAll();
 
     /** Write "name value # desc" lines, sorted by name. */
     void dump(std::ostream &os) const;
 
+    /**
+     * Write the whole registry as one JSON object:
+     * {"scalars":{name:value,...},
+     *  "distributions":{name:{count,min,max,sum,mean,stddev,
+     *                         p50,p90,p99},...}}
+     * Deterministic (sorted by name, fixed float formatting).
+     */
+    void dumpJson(std::ostream &os) const;
+
     /** Access the full map (name -> scalar) for iteration. */
     const std::map<std::string, Scalar *> &all() const { return stats_; }
 
+    /** Access the full map (name -> distribution) for iteration. */
+    const std::map<std::string, Distribution *> &allDists() const
+    {
+        return dists_;
+    }
+
   private:
     std::map<std::string, Scalar *> stats_;
+    std::map<std::string, Distribution *> dists_;
 };
 
 } // namespace deepum::sim

@@ -1,0 +1,209 @@
+#include "sim/trace.hh"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace deepum::sim {
+
+const char *
+trackName(Track t)
+{
+    switch (t) {
+      case Track::Session:
+        return "session";
+      case Track::Gpu:
+        return "gpu.compute";
+      case Track::FaultHandler:
+        return "uvm.faultHandler";
+      case Track::Migration:
+        return "uvm.migration";
+      case Track::Pcie:
+        return "pcie.link";
+      case Track::PrefetchQueue:
+        return "deepum.prefetch";
+      case Track::Allocator:
+        return "torch.allocator";
+    }
+    return "?";
+}
+
+std::string
+jsonEscape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(c) & 0xff);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+Tracer::Arg
+Tracer::arg(std::string key, std::string val)
+{
+    return Arg{std::move(key), std::move(val), /*quoted=*/true};
+}
+
+Tracer::Arg
+Tracer::arg(std::string key, const char *val)
+{
+    return Arg{std::move(key), std::string(val), /*quoted=*/true};
+}
+
+Tracer::Arg
+Tracer::arg(std::string key, std::uint64_t val)
+{
+    return Arg{std::move(key), std::to_string(val), /*quoted=*/false};
+}
+
+void
+Tracer::duration(Track t, std::string name, Tick start, Tick end,
+                 std::vector<Arg> args)
+{
+    Event e;
+    e.ph = Phase::Complete;
+    e.track = t;
+    e.name = std::move(name);
+    e.ts = start;
+    e.dur = end >= start ? end - start : 0;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::instant(Track t, std::string name, Tick at,
+                std::vector<Arg> args)
+{
+    Event e;
+    e.ph = Phase::Instant;
+    e.track = t;
+    e.name = std::move(name);
+    e.ts = at;
+    e.args = std::move(args);
+    events_.push_back(std::move(e));
+}
+
+void
+Tracer::counter(Track t, std::string name, Tick at, std::uint64_t value)
+{
+    Event e;
+    e.ph = Phase::Counter;
+    e.track = t;
+    e.name = std::move(name);
+    e.ts = at;
+    e.value = value;
+    events_.push_back(std::move(e));
+}
+
+namespace {
+
+/** Ticks (ns) as microseconds with fixed 3-decimal precision. */
+void
+putUsec(std::ostream &os, Tick t)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64 ".%03" PRIu64,
+                  t / 1000, t % 1000);
+    os << buf;
+}
+
+void
+putArgs(std::ostream &os, const std::vector<Tracer::Arg> &args)
+{
+    os << "{";
+    bool first = true;
+    for (const auto &a : args) {
+        if (!first)
+            os << ",";
+        first = false;
+        os << '"' << jsonEscape(a.key) << "\":";
+        if (a.quoted)
+            os << '"' << jsonEscape(a.val) << '"';
+        else
+            os << a.val;
+    }
+    os << "}";
+}
+
+} // namespace
+
+void
+Tracer::writeJson(std::ostream &os) const
+{
+    os << "{\"traceEvents\":[\n";
+
+    // Process/thread naming metadata first so viewers label tracks.
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":"
+          "\"process_name\",\"args\":{\"name\":\"deepum-sim\"}}";
+    static constexpr Track kTracks[] = {
+        Track::Session,       Track::Gpu,  Track::FaultHandler,
+        Track::Migration,     Track::Pcie, Track::PrefetchQueue,
+        Track::Allocator,
+    };
+    for (Track t : kTracks) {
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << static_cast<std::uint32_t>(t)
+           << ",\"name\":\"thread_name\",\"args\":{\"name\":\""
+           << trackName(t) << "\"}}";
+        os << ",\n{\"ph\":\"M\",\"pid\":1,\"tid\":"
+           << static_cast<std::uint32_t>(t)
+           << ",\"name\":\"thread_sort_index\",\"args\":{"
+              "\"sort_index\":"
+           << static_cast<std::uint32_t>(t) << "}}";
+    }
+
+    for (const auto &e : events_) {
+        os << ",\n{\"ph\":\"" << static_cast<char>(e.ph)
+           << "\",\"pid\":1,\"tid\":"
+           << static_cast<std::uint32_t>(e.track) << ",\"ts\":";
+        putUsec(os, e.ts);
+        os << ",\"name\":\"" << jsonEscape(e.name) << '"';
+        switch (e.ph) {
+          case Phase::Complete:
+            os << ",\"dur\":";
+            putUsec(os, e.dur);
+            break;
+          case Phase::Instant:
+            os << ",\"s\":\"t\""; // thread-scoped marker
+            break;
+          case Phase::Counter:
+            break;
+        }
+        if (e.ph == Phase::Counter) {
+            os << ",\"args\":{\"value\":" << e.value << "}";
+        } else if (!e.args.empty()) {
+            os << ",\"args\":";
+            putArgs(os, e.args);
+        }
+        os << "}";
+    }
+
+    os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+}
+
+} // namespace deepum::sim

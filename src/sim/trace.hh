@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Event tracing in Chrome/Perfetto trace format.
+ *
+ * A Tracer records what each simulated actor is doing over time:
+ * duration events (ph "X": a named span on a track), instant events
+ * (ph "i": a point marker), and counter events (ph "C": a sampled
+ * value series). Tracks map to Chrome trace tids, one per simulated
+ * actor (GPU, fault-handling thread, migration thread, PCIe link,
+ * prefetch queue, allocator, training session), so the emitted JSON
+ * opens directly in chrome://tracing or https://ui.perfetto.dev.
+ *
+ * Tracing is opt-in and zero-cost when off: components reach their
+ * Tracer through a pointer that is null by default (see
+ * EventQueue::tracer()), and every emission site guards on it, so a
+ * run without a tracer attached executes the exact same simulation
+ * with no allocation or formatting work.
+ *
+ * Timestamps are simulated time: ticks (nanoseconds) rendered as
+ * microseconds with three decimals, the unit Chrome trace expects.
+ * Serialization is fully deterministic — two runs of the same seed
+ * produce byte-identical trace files.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sim/types.hh"
+
+namespace deepum::sim {
+
+/**
+ * The fixed set of trace tracks (Chrome trace thread ids).
+ *
+ * Each simulated actor gets its own lane in the viewer; values are
+ * the emitted tids and double as sort order.
+ */
+enum class Track : std::uint32_t {
+    Session = 1,      ///< training loop: one span per iteration
+    Gpu = 2,          ///< kernel execution and fault stalls
+    FaultHandler = 3, ///< fault-buffer drain/preprocess passes
+    Migration = 4,    ///< migration thread: migrate/evict spans
+    Pcie = 5,         ///< individual link transfers
+    PrefetchQueue = 6,///< prefetcher activity and queue depths
+    Allocator = 7,    ///< caching-allocator malloc/free activity
+};
+
+/** @return the human-readable lane name shown in trace viewers. */
+const char *trackName(Track t);
+
+/** Records trace events and serializes them as Chrome trace JSON. */
+class Tracer
+{
+  public:
+    /** One "args" key/value pair attached to an event. */
+    struct Arg {
+        std::string key;
+        std::string val;  ///< pre-rendered JSON value payload
+        bool quoted;      ///< true: string value, false: number
+    };
+
+    /** Make a string-valued arg. */
+    static Arg arg(std::string key, std::string val);
+    static Arg arg(std::string key, const char *val);
+    /** Make a number-valued arg. */
+    static Arg arg(std::string key, std::uint64_t val);
+
+    Tracer() = default;
+    Tracer(const Tracer &) = delete;
+    Tracer &operator=(const Tracer &) = delete;
+
+    /** Record a span on @p t covering [@p start, @p end]. */
+    void duration(Track t, std::string name, Tick start, Tick end,
+                  std::vector<Arg> args = {});
+
+    /** Record a point event on @p t at @p at. */
+    void instant(Track t, std::string name, Tick at,
+                 std::vector<Arg> args = {});
+
+    /** Record a counter sample: @p name = @p value at @p at. */
+    void counter(Track t, std::string name, Tick at,
+                 std::uint64_t value);
+
+    /** Number of events recorded so far. */
+    std::size_t eventCount() const { return events_.size(); }
+
+    /** Drop all recorded events (between independent runs). */
+    void clear() { events_.clear(); }
+
+    /**
+     * Write the full Chrome trace JSON document
+     * ({"traceEvents":[...]}), including thread-name metadata for
+     * every track. Deterministic byte-for-byte output.
+     */
+    void writeJson(std::ostream &os) const;
+
+  private:
+    enum class Phase : char {
+        Complete = 'X',
+        Instant = 'i',
+        Counter = 'C',
+    };
+
+    struct Event {
+        Phase ph;
+        Track track;
+        std::string name;
+        Tick ts = 0;
+        Tick dur = 0;            ///< Complete only
+        std::uint64_t value = 0; ///< Counter only
+        std::vector<Arg> args;
+    };
+
+    std::vector<Event> events_;
+};
+
+/** Escape @p s for inclusion in a JSON string literal. */
+std::string jsonEscape(const std::string &s);
+
+} // namespace deepum::sim

@@ -1,6 +1,8 @@
 #include "torch/allocator.hh"
 
+#include "sim/event_queue.hh"
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace deepum::torch {
 
@@ -161,6 +163,17 @@ CachingAllocator::malloc(std::uint64_t size)
     activeBytes_ += b->size;
     peakActiveBytes_.max(activeBytes_);
     ++allocs_;
+    if (tracer_ != nullptr) {
+        sim::Tick now = traceClock_->now();
+        tracer_->instant(sim::Track::Allocator, "malloc", now,
+                         {sim::Tracer::arg("bytes", b->size),
+                          sim::Tracer::arg("pool",
+                                           b->pool == PoolKind::Small
+                                               ? "small"
+                                               : "large")});
+        tracer_->counter(sim::Track::Allocator, "activeBytes", now,
+                         activeBytes_);
+    }
     return b->addr;
 }
 
@@ -197,6 +210,13 @@ CachingAllocator::free(mem::VAddr va)
     activeBytes_ -= b->size;
     cachedBytes_ += b->size;
     ++frees_;
+    if (tracer_ != nullptr) {
+        sim::Tick now = traceClock_->now();
+        tracer_->instant(sim::Track::Allocator, "free", now,
+                         {sim::Tracer::arg("bytes", b->size)});
+        tracer_->counter(sim::Track::Allocator, "activeBytes", now,
+                         activeBytes_);
+    }
 
     b = tryMerge(b, b->prev);
     b = tryMerge(b, b->next);

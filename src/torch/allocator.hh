@@ -27,6 +27,11 @@
 #include "sim/stats.hh"
 #include "torch/segment_source.hh"
 
+namespace deepum::sim {
+class EventQueue;
+class Tracer;
+}
+
 namespace deepum::torch {
 
 /** Which pool a PT block belongs to. */
@@ -49,6 +54,18 @@ class CachingAllocator
 
     CachingAllocator(const CachingAllocator &) = delete;
     CachingAllocator &operator=(const CachingAllocator &) = delete;
+
+    /**
+     * Attach a tracer (with the clock it should stamp events with):
+     * malloc/free instants and an activeBytes counter series appear
+     * on the allocator track.
+     */
+    void
+    attachTracer(const sim::EventQueue *eq, sim::Tracer *tr)
+    {
+        traceClock_ = eq;
+        tracer_ = tr;
+    }
 
     /**
      * Allocate @p size bytes.
@@ -119,6 +136,8 @@ class CachingAllocator
     PtBlock *tryMerge(PtBlock *b, PtBlock *neighbour);
 
     SegmentSource &src_;
+    const sim::EventQueue *traceClock_ = nullptr;
+    sim::Tracer *tracer_ = nullptr;
 
     Pool small_;
     Pool large_;

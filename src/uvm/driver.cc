@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sim/logging.hh"
+#include "sim/trace.hh"
 
 namespace deepum::uvm {
 
@@ -60,7 +61,11 @@ Driver::Driver(sim::EventQueue &eq, const gpu::TimingConfig &cfg,
       prefetchWasted_(stats, "uvm.prefetchWasted",
                       "prefetched blocks evicted before any use"),
       replaysSent_(stats, "uvm.replaysSent",
-                   "replay signals sent to the GPU")
+                   "replay signals sent to the GPU"),
+      faultBatchSize_(stats, "uvm.faultBatchSize",
+                      "deduped faulted blocks per fault batch"),
+      migrationLatency_(stats, "uvm.migrationLatency",
+                        "ticks from migration dequeue to completion")
 {
 }
 
@@ -164,6 +169,9 @@ Driver::enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id)
         return false;
     bi.queuedPrefetch = true;
     ++prefetchIssued_;
+    if (auto *tr = eventq().tracer())
+        tr->counter(sim::Track::PrefetchQueue, "prefetchQueueDepth",
+                    curTick(), prefetchQueue_.size());
     if (!migBusy_) {
         migBusy_ = true;
         scheduleIn(0, [this] { migrationStep(); });
@@ -287,10 +295,20 @@ Driver::handleFaults()
     }
     pageFaults_ += pages;
     faultedBlocks_ += ordered.size();
+    faultBatchSize_.sample(ordered.size());
 
     sim::Tick cost = cfg_.faultFetchPerEntry * entries.size() +
                      cfg_.faultPreprocessBase +
                      cfg_.faultPreprocessPerBlock * ordered.size();
+
+    if (auto *tr = eventq().tracer())
+        tr->duration(sim::Track::FaultHandler, "faultBatch",
+                     curTick(), curTick() + cost,
+                     {sim::Tracer::arg("entries",
+                                       std::uint64_t(entries.size())),
+                      sim::Tracer::arg("blocks",
+                                       std::uint64_t(ordered.size())),
+                      sim::Tracer::arg("pages", pages)});
 
     eventq().scheduleIn(cost, [this, ordered = std::move(ordered)] {
         for (auto *l : listeners_)
@@ -311,6 +329,9 @@ Driver::handleFaults()
                 bi.queuedFault = true;
             }
         }
+        if (auto *tr = eventq().tracer())
+            tr->counter(sim::Track::FaultHandler, "faultQueueDepth",
+                        curTick(), faultQueue_.size());
 
         if (outstanding_.empty()) {
             // Everything already resident: replay immediately.
@@ -393,7 +414,8 @@ Driver::migrationStep()
 
         // Steps 3-7 of Figure 3: space check, eviction, populate,
         // transfer, map.
-        sim::Tick t = curTick();
+        sim::Tick t0 = curTick();
+        sim::Tick t = t0;
         if (!makeRoom(bi.pages, t, demand)) {
             if (demand) {
                 sim::panic("no evictable block for a demand fault "
@@ -428,6 +450,22 @@ Driver::migrationStep()
             t += cfg_.zeroFillPerPage * pages;
         }
         t += cfg_.mapBlock;
+
+        migrationLatency_.sample(t - t0);
+        if (auto *tr = eventq().tracer()) {
+            tr->duration(
+                sim::Track::Migration, "migrate", t0, t,
+                {sim::Tracer::arg("phase",
+                                  demand ? "demand" : "prefetch"),
+                 sim::Tracer::arg("kind", htod ? "copy" : "zerofill"),
+                 sim::Tracer::arg("block", cmd.block),
+                 sim::Tracer::arg("pages", std::uint64_t(pages))});
+            tr->counter(sim::Track::FaultHandler, "faultQueueDepth",
+                        curTick(), faultQueue_.size());
+            tr->counter(sim::Track::PrefetchQueue,
+                        "prefetchQueueDepth", curTick(),
+                        prefetchQueue_.size());
+        }
 
         mem::BlockId b = cmd.block;
         std::uint32_t exec_id = cmd.execId;
@@ -488,6 +526,8 @@ Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
     lru_.erase(lp->second);
     lruPos_.erase(lp);
 
+    sim::Tick evict_start = t;
+
     if (bi.prefetched) {
         bi.prefetched = false;
         ++prefetchWasted_;
@@ -527,6 +567,14 @@ Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
     frames_.release(bi.pages);
     if (demand)
         ++demandEvictions_;
+    if (auto *tr = eventq().tracer())
+        tr->duration(
+            sim::Track::Migration, "evict", evict_start, t,
+            {sim::Tracer::arg("phase", demand ? "demand" : "pre"),
+             sim::Tracer::arg("kind",
+                              invalidate ? "invalidate" : "writeback"),
+             sim::Tracer::arg("block", victim),
+             sim::Tracer::arg("pages", std::uint64_t(bi.pages))});
     for (auto *l : listeners_)
         l->onBlockEvicted(victim, invalidate);
 }

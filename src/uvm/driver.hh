@@ -198,6 +198,10 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     sim::Scalar prefetchUseful_;
     sim::Scalar prefetchWasted_;
     sim::Scalar replaysSent_;
+
+    // Distributions (paper Table 5 / Figures 9-13 raw series).
+    sim::Distribution faultBatchSize_;
+    sim::Distribution migrationLatency_;
 };
 
 } // namespace deepum::uvm

@@ -6,6 +6,7 @@
 
 #include <gtest/gtest.h>
 
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -149,6 +150,149 @@ TEST(StatsDeath, DuplicateNamePanics)
     StatSet set;
     Scalar a(set, "dup", "");
     EXPECT_DEATH(Scalar(set, "dup", ""), "duplicate");
+}
+
+// ---------------------------------------------------------- distributions
+
+TEST(Distribution, EmptyIsAllZero)
+{
+    StatSet set;
+    Distribution d(set, "d", "");
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.sum(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 0.0);
+}
+
+TEST(Distribution, MomentsTrackSamples)
+{
+    StatSet set;
+    Distribution d(set, "d", "");
+    for (std::uint64_t v : {2u, 4u, 6u, 8u})
+        d.sample(v);
+    EXPECT_EQ(d.count(), 4u);
+    EXPECT_EQ(d.min(), 2u);
+    EXPECT_EQ(d.max(), 8u);
+    EXPECT_EQ(d.sum(), 20u);
+    EXPECT_DOUBLE_EQ(d.mean(), 5.0);
+    // Population stddev of {2,4,6,8} = sqrt(5).
+    EXPECT_NEAR(d.stddev(), 2.2360679, 1e-6);
+}
+
+TEST(Distribution, Log2BucketPlacement)
+{
+    StatSet set;
+    Distribution d(set, "d", "");
+    d.sample(0);   // bucket 0
+    d.sample(1);   // [1,2)    -> bucket 1
+    d.sample(2);   // [2,4)    -> bucket 2
+    d.sample(3);   // [2,4)    -> bucket 2
+    d.sample(4);   // [4,8)    -> bucket 3
+    d.sample(255); // [128,256)-> bucket 8
+    const auto &b = d.buckets();
+    EXPECT_EQ(b[0], 1u);
+    EXPECT_EQ(b[1], 1u);
+    EXPECT_EQ(b[2], 2u);
+    EXPECT_EQ(b[3], 1u);
+    EXPECT_EQ(b[8], 1u);
+}
+
+TEST(Distribution, PercentilesBracketTheData)
+{
+    StatSet set;
+    Distribution d(set, "d", "");
+    for (std::uint64_t v = 1; v <= 100; ++v)
+        d.sample(v);
+    EXPECT_DOUBLE_EQ(d.percentile(0), 1.0);
+    EXPECT_DOUBLE_EQ(d.percentile(100), 100.0);
+    // Log2 buckets are coarse: only require the right ballpark.
+    EXPECT_GE(d.percentile(50), 32.0);
+    EXPECT_LE(d.percentile(50), 64.0);
+    EXPECT_GE(d.percentile(99), 64.0);
+    EXPECT_LE(d.percentile(99), 100.0);
+}
+
+TEST(Distribution, ConstantSamplesGiveExactPercentiles)
+{
+    StatSet set;
+    Distribution d(set, "d", "");
+    for (int i = 0; i < 10; ++i)
+        d.sample(42);
+    EXPECT_DOUBLE_EQ(d.percentile(50), 42.0);
+    EXPECT_DOUBLE_EQ(d.percentile(99), 42.0);
+    EXPECT_DOUBLE_EQ(d.stddev(), 0.0);
+}
+
+TEST(Distribution, ResetAllForgetsSamples)
+{
+    StatSet set;
+    Distribution d(set, "d", "");
+    d.sample(5);
+    d.sample(7);
+    set.resetAll();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_EQ(d.min(), 0u);
+    EXPECT_EQ(d.max(), 0u);
+    EXPECT_EQ(d.buckets()[3], 0u);
+    d.sample(9);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_EQ(d.min(), 9u);
+}
+
+TEST(Distribution, RegistersInStatSet)
+{
+    auto prev = setLogLevel(LogLevel::Silent);
+    StatSet set;
+    Distribution d(set, "lat", "a latency");
+    EXPECT_TRUE(set.has("lat"));
+    EXPECT_EQ(set.getDist("lat"), &d);
+    EXPECT_EQ(set.getDist("missing"), nullptr);
+    EXPECT_EQ(set.allDists().size(), 1u);
+    setLogLevel(prev);
+}
+
+TEST(DistributionDeath, NameCollidesWithScalar)
+{
+    StatSet set;
+    Scalar s(set, "shared", "");
+    EXPECT_DEATH(Distribution(set, "shared", ""), "duplicate");
+}
+
+TEST(Stats, DumpJsonIsWellFormedAndSorted)
+{
+    StatSet set;
+    Scalar b(set, "b.count", "");
+    Scalar a(set, "a.count", "");
+    Distribution d(set, "lat", "");
+    a += 3;
+    b += 1;
+    d.sample(10);
+    d.sample(20);
+
+    std::ostringstream os;
+    set.dumpJson(os);
+    std::string j = os.str();
+
+    // Scalars sorted by name, distribution block present.
+    auto pa = j.find("\"a.count\": 3");
+    auto pb = j.find("\"b.count\": 1");
+    ASSERT_NE(pa, std::string::npos) << j;
+    ASSERT_NE(pb, std::string::npos) << j;
+    EXPECT_LT(pa, pb);
+    EXPECT_NE(j.find("\"distributions\""), std::string::npos);
+    EXPECT_NE(j.find("\"lat\""), std::string::npos);
+    EXPECT_NE(j.find("\"count\": 2"), std::string::npos);
+    EXPECT_NE(j.find("\"min\": 10"), std::string::npos);
+    EXPECT_NE(j.find("\"max\": 20"), std::string::npos);
+    EXPECT_NE(j.find("\"mean\": 15"), std::string::npos);
+
+    // Deterministic: a second dump is byte-identical.
+    std::ostringstream os2;
+    set.dumpJson(os2);
+    EXPECT_EQ(j, os2.str());
 }
 
 // ---------------------------------------------------------------- spsc

@@ -1,0 +1,396 @@
+/**
+ * @file
+ * Tests for the Chrome-trace tracer: event recording, deterministic
+ * JSON serialization, the null-tracer fast path, and the end-to-end
+ * --trace/--stats-json plumbing through runExperiment.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "harness/experiment.hh"
+#include "models/registry.hh"
+#include "sim/trace.hh"
+
+using namespace deepum;
+using namespace deepum::sim;
+
+namespace {
+
+/**
+ * Minimal JSON well-formedness checker (recursive descent). Not a
+ * full parser — enough to catch unbalanced braces, broken strings,
+ * trailing commas, and garbage between tokens.
+ */
+class JsonChecker
+{
+  public:
+    explicit JsonChecker(const std::string &s) : s_(s) {}
+
+    bool
+    valid()
+    {
+        skipWs();
+        if (!value())
+            return false;
+        skipWs();
+        return pos_ == s_.size();
+    }
+
+  private:
+    bool
+    value()
+    {
+        if (pos_ >= s_.size())
+            return false;
+        switch (s_[pos_]) {
+          case '{':
+            return object();
+          case '[':
+            return array();
+          case '"':
+            return string();
+          case 't':
+            return literal("true");
+          case 'f':
+            return literal("false");
+          case 'n':
+            return literal("null");
+          default:
+            return number();
+        }
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        skipWs();
+        if (peek() == '}') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!string())
+                return false;
+            skipWs();
+            if (peek() != ':')
+                return false;
+            ++pos_;
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == '}') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        skipWs();
+        if (peek() == ']') {
+            ++pos_;
+            return true;
+        }
+        for (;;) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (peek() == ',') {
+                ++pos_;
+                continue;
+            }
+            if (peek() == ']') {
+                ++pos_;
+                return true;
+            }
+            return false;
+        }
+    }
+
+    bool
+    string()
+    {
+        if (peek() != '"')
+            return false;
+        ++pos_;
+        while (pos_ < s_.size() && s_[pos_] != '"') {
+            if (s_[pos_] == '\\') {
+                ++pos_;
+                if (pos_ >= s_.size())
+                    return false;
+            }
+            ++pos_;
+        }
+        if (pos_ >= s_.size())
+            return false;
+        ++pos_; // closing quote
+        return true;
+    }
+
+    bool
+    number()
+    {
+        std::size_t start = pos_;
+        if (peek() == '-')
+            ++pos_;
+        while (pos_ < s_.size() &&
+               (std::isdigit(static_cast<unsigned char>(s_[pos_])) ||
+                s_[pos_] == '.' || s_[pos_] == 'e' ||
+                s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-'))
+            ++pos_;
+        return pos_ > start;
+    }
+
+    bool
+    literal(const char *lit)
+    {
+        std::size_t n = std::string(lit).size();
+        if (s_.compare(pos_, n, lit) != 0)
+            return false;
+        pos_ += n;
+        return true;
+    }
+
+    char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+    void
+    skipWs()
+    {
+        while (pos_ < s_.size() &&
+               (s_[pos_] == ' ' || s_[pos_] == '\n' ||
+                s_[pos_] == '\t' || s_[pos_] == '\r'))
+            ++pos_;
+    }
+
+    const std::string &s_;
+    std::size_t pos_ = 0;
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream is(path, std::ios::binary);
+    std::ostringstream ss;
+    ss << is.rdbuf();
+    return ss.str();
+}
+
+// --------------------------------------------------------------- tracer
+
+TEST(Trace, TrackNamesAreStable)
+{
+    EXPECT_STREQ(trackName(Track::Session), "session");
+    EXPECT_STREQ(trackName(Track::Gpu), "gpu.compute");
+    EXPECT_STREQ(trackName(Track::FaultHandler), "uvm.faultHandler");
+    EXPECT_STREQ(trackName(Track::Migration), "uvm.migration");
+    EXPECT_STREQ(trackName(Track::Pcie), "pcie.link");
+    EXPECT_STREQ(trackName(Track::PrefetchQueue), "deepum.prefetch");
+    EXPECT_STREQ(trackName(Track::Allocator), "torch.allocator");
+}
+
+TEST(Trace, JsonEscapeHandlesSpecials)
+{
+    EXPECT_EQ(jsonEscape("plain"), "plain");
+    EXPECT_EQ(jsonEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(jsonEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(jsonEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(jsonEscape(std::string("a\x01") + "b"), "a\\u0001b");
+}
+
+TEST(Trace, RecordsAndClearsEvents)
+{
+    Tracer tr;
+    EXPECT_EQ(tr.eventCount(), 0u);
+    tr.duration(Track::Gpu, "k", 100, 200);
+    tr.instant(Track::Gpu, "p", 150);
+    tr.counter(Track::Allocator, "bytes", 160, 42);
+    EXPECT_EQ(tr.eventCount(), 3u);
+    tr.clear();
+    EXPECT_EQ(tr.eventCount(), 0u);
+}
+
+TEST(Trace, WriteJsonIsWellFormed)
+{
+    Tracer tr;
+    tr.duration(Track::Gpu, "conv#3", 1000, 2500,
+                {Tracer::arg("op", "conv"),
+                 Tracer::arg("bytes", std::uint64_t(4096))});
+    tr.instant(Track::PrefetchQueue, "predictNext", 1200);
+    tr.counter(Track::Allocator, "activeBytes", 1300, 1 << 20);
+
+    std::ostringstream os;
+    tr.writeJson(os);
+    std::string j = os.str();
+
+    EXPECT_TRUE(JsonChecker(j).valid()) << j;
+    EXPECT_EQ(j.rfind("{\"traceEvents\":[", 0), 0u);
+
+    // Track-naming metadata for every lane.
+    EXPECT_NE(j.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(j.find("\"gpu.compute\""), std::string::npos);
+    EXPECT_NE(j.find("\"torch.allocator\""), std::string::npos);
+
+    // Phase-specific fields.
+    EXPECT_NE(j.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(j.find("\"ph\":\"C\""), std::string::npos);
+    EXPECT_NE(j.find("\"args\":{\"value\":1048576}"),
+              std::string::npos);
+    EXPECT_NE(j.find("\"op\":\"conv\""), std::string::npos);
+    EXPECT_NE(j.find("\"bytes\":4096"), std::string::npos);
+}
+
+TEST(Trace, TimestampsAreMicrosecondsWithFixedPrecision)
+{
+    Tracer tr;
+    // Ticks are nanoseconds: 1500 ns = 1.500 us, 2 ns dur = 0.002 us.
+    tr.duration(Track::Gpu, "k", 1500, 1502);
+    std::ostringstream os;
+    tr.writeJson(os);
+    std::string j = os.str();
+    EXPECT_NE(j.find("\"ts\":1.500"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"dur\":0.002"), std::string::npos) << j;
+}
+
+TEST(Trace, NegativeSpansClampToZeroDuration)
+{
+    Tracer tr;
+    tr.duration(Track::Gpu, "k", 2000, 1000);
+    std::ostringstream os;
+    tr.writeJson(os);
+    EXPECT_NE(os.str().find("\"dur\":0.000"), std::string::npos);
+}
+
+// ---------------------------------------------------------- end-to-end
+
+harness::ExperimentConfig
+quick()
+{
+    harness::ExperimentConfig cfg;
+    cfg.iterations = 6;
+    cfg.warmup = 2;
+    return cfg;
+}
+
+TEST(TraceEndToEnd, DeepUmRunEmitsAllActorTracks)
+{
+    const std::string trace_path = "test_trace_e2e.json";
+    const std::string stats_path = "test_trace_e2e_stats.json";
+
+    torch::Tape tape = models::buildModel("bert-base", 30);
+    harness::ExperimentConfig cfg = quick();
+    cfg.traceFile = trace_path;
+    cfg.statsJsonFile = stats_path;
+    harness::RunResult r =
+        harness::runExperiment(tape, harness::SystemKind::DeepUm, cfg);
+    ASSERT_TRUE(r.ok);
+
+    std::string j = slurp(trace_path);
+    ASSERT_FALSE(j.empty());
+    EXPECT_TRUE(JsonChecker(j).valid());
+
+    // One span per training iteration on the session track.
+    EXPECT_NE(j.find("\"name\":\"iter 0\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"iter 5\""), std::string::npos);
+    // Kernel spans (named op#execId), migrations, PCIe transfers,
+    // fault batches, allocator activity.
+    EXPECT_NE(j.find("#0\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"migrate\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"xfer\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"faultBatch\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"malloc\""), std::string::npos);
+    EXPECT_NE(j.find("\"phase\":\"prefetch\""), std::string::npos);
+
+    // The stats JSON carries the new distributions.
+    std::string s = slurp(stats_path);
+    ASSERT_FALSE(s.empty());
+    EXPECT_TRUE(JsonChecker(s).valid());
+    EXPECT_NE(s.find("\"uvm.faultBatchSize\""), std::string::npos);
+    EXPECT_NE(s.find("\"uvm.migrationLatency\""), std::string::npos);
+
+    // ... and the RunResult mirrors them.
+    ASSERT_TRUE(r.dists.count("uvm.faultBatchSize"));
+    ASSERT_TRUE(r.dists.count("uvm.migrationLatency"));
+    EXPECT_GT(r.dists.at("uvm.faultBatchSize").count, 0u);
+    EXPECT_GT(r.dists.at("uvm.migrationLatency").count, 0u);
+    EXPECT_GT(r.dists.at("uvm.migrationLatency").mean, 0.0);
+
+    std::remove(trace_path.c_str());
+    std::remove(stats_path.c_str());
+}
+
+TEST(TraceEndToEnd, SameSeedGivesByteIdenticalTraces)
+{
+    torch::Tape tape = models::buildModel("bert-base", 30);
+    std::string paths[2] = {"test_trace_det_a.json",
+                            "test_trace_det_b.json"};
+    std::string bodies[2];
+    for (int i = 0; i < 2; ++i) {
+        harness::ExperimentConfig cfg = quick();
+        cfg.traceFile = paths[i];
+        harness::RunResult r =
+            harness::runExperiment(tape, harness::SystemKind::DeepUm, cfg);
+        ASSERT_TRUE(r.ok);
+        bodies[i] = slurp(paths[i]);
+        std::remove(paths[i].c_str());
+    }
+    ASSERT_FALSE(bodies[0].empty());
+    EXPECT_EQ(bodies[0], bodies[1]);
+}
+
+TEST(TraceEndToEnd, TracingDoesNotPerturbTheSimulation)
+{
+    torch::Tape tape = models::buildModel("bert-base", 30);
+
+    harness::ExperimentConfig plain = quick();
+    harness::RunResult off =
+        harness::runExperiment(tape, harness::SystemKind::DeepUm, plain);
+
+    harness::ExperimentConfig traced = quick();
+    traced.traceFile = "test_trace_perturb.json";
+    harness::RunResult on =
+        harness::runExperiment(tape, harness::SystemKind::DeepUm, traced);
+    std::remove(traced.traceFile.c_str());
+
+    ASSERT_TRUE(off.ok && on.ok);
+    EXPECT_EQ(off.ticksPerIter, on.ticksPerIter);
+    EXPECT_EQ(off.pageFaultsPerIter, on.pageFaultsPerIter);
+    EXPECT_EQ(off.stats, on.stats);
+}
+
+TEST(TraceEndToEnd, UmRunTracesWithoutDeepUmModule)
+{
+    // No prefetcher attached: the trace must still be valid and the
+    // demand-migration path visible.
+    torch::Tape tape = models::buildModel("bert-base", 30);
+    harness::ExperimentConfig cfg = quick();
+    cfg.traceFile = "test_trace_um.json";
+    harness::RunResult r =
+        harness::runExperiment(tape, harness::SystemKind::Um, cfg);
+    ASSERT_TRUE(r.ok);
+    std::string j = slurp(cfg.traceFile);
+    std::remove(cfg.traceFile.c_str());
+    EXPECT_TRUE(JsonChecker(j).valid());
+    EXPECT_NE(j.find("\"phase\":\"demand\""), std::string::npos);
+    EXPECT_NE(j.find("\"name\":\"stallOnFault\""), std::string::npos);
+}
+
+} // namespace
