@@ -16,53 +16,59 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto base = defaultConfig();
+
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    auto rows = mapCells<std::vector<std::string>>(
+        pool, sweepGrid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            auto um = harness::runExperiment(
+                tape, harness::SystemKind::Um, base);
+            auto sp = [&](const harness::RunResult &r) {
+                return harness::fmtSpeedup(um.secPer100Iters /
+                                           r.secPer100Iters);
+            };
+
+            auto ocdnn = harness::runExperiment(
+                tape, harness::SystemKind::OcDnn, base);
+            auto full = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, base);
+
+            harness::ExperimentConfig no_hyst = base;
+            no_hyst.deepum.captureHysteresis = false;
+            auto r_hyst = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, no_hyst);
+
+            harness::ExperimentConfig no_fresh = base;
+            no_fresh.deepum.freshTagChaining = false;
+            auto r_fresh = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, no_fresh);
+
+            harness::ExperimentConfig no_waste = base;
+            no_waste.deepum.wasteFeedback = false;
+            auto r_waste = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, no_waste);
+
+            // "-demand-fallback-only" approximates removing the
+            // protected set entirely by keeping the stock LRU policy
+            // while pre-eviction still runs at the watermark.
+            harness::ExperimentConfig lru = base;
+            lru.deepum.preevict = false;
+            auto r_lru = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, lru);
+
+            return std::vector<std::string>{
+                cellLabel(c), sp(ocdnn), sp(full), sp(r_hyst),
+                sp(r_fresh), sp(r_waste), sp(r_lru)};
+        });
 
     harness::TextTable t({"model/batch", "OC-DNN", "full DeepUM",
                           "-hysteresis", "-live-entry", "-waste-fb",
                           "-demand-fallback-only"});
-    for (const Cell &c : sweepGrid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-        auto um =
-            harness::runExperiment(tape, harness::SystemKind::Um, base);
-        auto sp = [&](const harness::RunResult &r) {
-            return harness::fmtSpeedup(um.secPer100Iters /
-                                       r.secPer100Iters);
-        };
-
-        auto ocdnn = harness::runExperiment(
-            tape, harness::SystemKind::OcDnn, base);
-        auto full = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, base);
-
-        harness::ExperimentConfig no_hyst = base;
-        no_hyst.deepum.captureHysteresis = false;
-        auto r_hyst = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, no_hyst);
-
-        harness::ExperimentConfig no_fresh = base;
-        no_fresh.deepum.freshTagChaining = false;
-        auto r_fresh = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, no_fresh);
-
-        harness::ExperimentConfig no_waste = base;
-        no_waste.deepum.wasteFeedback = false;
-        auto r_waste = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, no_waste);
-
-        // "-demand-fallback-only" approximates removing the
-        // protected set entirely by keeping the stock LRU policy
-        // while pre-eviction still runs at the watermark.
-        harness::ExperimentConfig lru = base;
-        lru.deepum.preevict = false;
-        auto r_lru = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, lru);
-
-        t.row({cellLabel(c), sp(ocdnn), sp(full), sp(r_hyst),
-               sp(r_fresh), sp(r_waste), sp(r_lru)});
-    }
+    for (auto &row : rows)
+        t.row(row);
 
     banner("Mechanism ablation (speedup over naive UM; see DESIGN.md "
            "section 6)");

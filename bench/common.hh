@@ -11,11 +11,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "baselines/runner.hh"
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "models/registry.hh"
 
@@ -110,6 +113,48 @@ inline void
 banner(const char *what)
 {
     std::printf("\n==== %s ====\n\n", what);
+}
+
+/**
+ * Parse the shared bench flags: `--jobs N` (N=0 means one job per
+ * hardware thread). Default is 1 — single-threaded, byte-identical
+ * to the historical serial output; any `--jobs` value produces the
+ * same bytes anyway because cells are independent and results are
+ * collected in grid order (see harness/parallel.hh).
+ */
+inline unsigned
+jobsFromArgs(int argc, char **argv)
+{
+    unsigned jobs = 1;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        const char *val = nullptr;
+        if (a == "--jobs" && i + 1 < argc)
+            val = argv[++i];
+        else if (a.rfind("--jobs=", 0) == 0)
+            val = a.c_str() + 7;
+        if (val == nullptr) {
+            std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+            std::exit(2);
+        }
+        jobs = static_cast<unsigned>(std::strtoul(val, nullptr, 10));
+        if (jobs == 0)
+            jobs = std::max(1u, std::thread::hardware_concurrency());
+    }
+    return jobs;
+}
+
+/**
+ * Evaluate @p fn over every cell of @p grid on @p pool; the result
+ * vector is in grid order regardless of scheduling.
+ */
+template <typename T, typename Fn>
+inline std::vector<T>
+mapCells(harness::ParallelRunner &pool, const std::vector<Cell> &grid,
+         Fn fn)
+{
+    return pool.map<T>(grid.size(),
+                       [&](std::size_t i) { return fn(grid[i]); });
 }
 
 } // namespace deepum::bench

@@ -25,28 +25,29 @@ struct Row {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     auto cfg = defaultConfig();
     auto scfg = swapConfig(cfg);
 
-    std::vector<Row> rows;
-    for (const Cell &c : fig9Grid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-        Row r;
-        r.label = cellLabel(c);
-        r.um = harness::runExperiment(tape, harness::SystemKind::Um,
-                                      cfg);
-        r.dum = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, cfg);
-        r.ideal = harness::runExperiment(
-            tape, harness::SystemKind::Ideal, cfg);
-        r.lms = baselines::runBaseline(baselines::BaselineKind::Lms,
-                                       tape, scfg);
-        r.lmsmod = baselines::runBaseline(
-            baselines::BaselineKind::LmsMod, tape, scfg);
-        rows.push_back(std::move(r));
-    }
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    std::vector<Row> rows =
+        mapCells<Row>(pool, fig9Grid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            Row r;
+            r.label = cellLabel(c);
+            r.um = harness::runExperiment(
+                tape, harness::SystemKind::Um, cfg);
+            r.dum = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, cfg);
+            r.ideal = harness::runExperiment(
+                tape, harness::SystemKind::Ideal, cfg);
+            r.lms = baselines::runBaseline(
+                baselines::BaselineKind::Lms, tape, scfg);
+            r.lmsmod = baselines::runBaseline(
+                baselines::BaselineKind::LmsMod, tape, scfg);
+            return r;
+        });
 
     auto speedup = [](const harness::RunResult &um, double t) {
         return t > 0 ? um.secPer100Iters / t : 0.0;

@@ -12,48 +12,64 @@
 using namespace deepum;
 using namespace deepum::bench;
 
+namespace {
+
+struct Row {
+    std::string label;
+    harness::RunResult um, r1, r2, r3;
+};
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     auto base = defaultConfig();
+
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    std::vector<Row> rows =
+        mapCells<Row>(pool, fig9Grid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            Row r;
+            r.label = cellLabel(c);
+            r.um = harness::runExperiment(
+                tape, harness::SystemKind::Um, base);
+
+            harness::ExperimentConfig pf = base;
+            pf.deepum.prefetch = true;
+            pf.deepum.preevict = false;
+            pf.deepum.invalidate = false;
+            r.r1 = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, pf);
+
+            harness::ExperimentConfig pe = pf;
+            pe.deepum.preevict = true;
+            r.r2 = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, pe);
+
+            harness::ExperimentConfig all = pe;
+            all.deepum.invalidate = true;
+            r.r3 = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, all);
+            return r;
+        });
 
     harness::TextTable t({"model/batch", "UM s/100it", "Prefetch",
                           "+Preevict", "+Invalidate"});
     std::vector<double> g1, g2, g3;
 
-    for (const Cell &c : fig9Grid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-        auto um =
-            harness::runExperiment(tape, harness::SystemKind::Um, base);
-
-        harness::ExperimentConfig pf = base;
-        pf.deepum.prefetch = true;
-        pf.deepum.preevict = false;
-        pf.deepum.invalidate = false;
-        auto r1 =
-            harness::runExperiment(tape, harness::SystemKind::DeepUm, pf);
-
-        harness::ExperimentConfig pe = pf;
-        pe.deepum.preevict = true;
-        auto r2 =
-            harness::runExperiment(tape, harness::SystemKind::DeepUm, pe);
-
-        harness::ExperimentConfig all = pe;
-        all.deepum.invalidate = true;
-        auto r3 = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, all);
-
-        auto reduction = [&](const harness::RunResult &r) {
-            return 100.0 * (1.0 - r.secPer100Iters /
-                                      um.secPer100Iters);
+    for (const Row &r : rows) {
+        auto reduction = [&](const harness::RunResult &x) {
+            return 100.0 * (1.0 - x.secPer100Iters /
+                                      r.um.secPer100Iters);
         };
-        g1.push_back(r1.secPer100Iters / um.secPer100Iters);
-        g2.push_back(r2.secPer100Iters / um.secPer100Iters);
-        g3.push_back(r3.secPer100Iters / um.secPer100Iters);
-        t.row({cellLabel(c), harness::fmtDouble(um.secPer100Iters),
-               harness::fmtDouble(reduction(r1), 1) + "%",
-               harness::fmtDouble(reduction(r2), 1) + "%",
-               harness::fmtDouble(reduction(r3), 1) + "%"});
+        g1.push_back(r.r1.secPer100Iters / r.um.secPer100Iters);
+        g2.push_back(r.r2.secPer100Iters / r.um.secPer100Iters);
+        g3.push_back(r.r3.secPer100Iters / r.um.secPer100Iters);
+        t.row({r.label, harness::fmtDouble(r.um.secPer100Iters),
+               harness::fmtDouble(reduction(r.r1), 1) + "%",
+               harness::fmtDouble(reduction(r.r2), 1) + "%",
+               harness::fmtDouble(reduction(r.r3), 1) + "%"});
     }
     t.row({"mean reduction", "",
            harness::fmtDouble(100.0 * (1.0 - harness::geomean(g1)), 1) +

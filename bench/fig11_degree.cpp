@@ -17,7 +17,7 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     const std::uint32_t kDegrees[] = {1, 2, 4, 8, 16, 32};
     const std::uint32_t kBase = 8;
@@ -29,29 +29,40 @@ main()
     harness::TextTable speed(headers);
     harness::TextTable energy(headers);
 
-    for (const Cell &c : sweepGrid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-
+    struct Row {
         double base_time = 0, base_energy = 0;
         std::vector<double> times, energies;
-        for (auto n : kDegrees) {
-            harness::ExperimentConfig cfg = defaultConfig();
-            cfg.deepum.lookaheadN = n;
-            auto r = harness::runExperiment(
-                tape, harness::SystemKind::DeepUm, cfg);
-            times.push_back(r.secPer100Iters);
-            energies.push_back(r.energyJPerIter);
-            if (n == kBase) {
-                base_time = r.secPer100Iters;
-                base_energy = r.energyJPerIter;
+    };
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    std::vector<Row> rows =
+        mapCells<Row>(pool, sweepGrid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            Row row;
+            for (auto n : kDegrees) {
+                harness::ExperimentConfig cfg = defaultConfig();
+                cfg.deepum.lookaheadN = n;
+                auto r = harness::runExperiment(
+                    tape, harness::SystemKind::DeepUm, cfg);
+                row.times.push_back(r.secPer100Iters);
+                row.energies.push_back(r.energyJPerIter);
+                if (n == kBase) {
+                    row.base_time = r.secPer100Iters;
+                    row.base_energy = r.energyJPerIter;
+                }
             }
-        }
-        std::vector<std::string> srow{cellLabel(c)}, erow{cellLabel(c)};
-        for (std::size_t i = 0; i < times.size(); ++i) {
+            return row;
+        });
+
+    const auto grid = sweepGrid();
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+        const Row &row = rows[k];
+        std::vector<std::string> srow{cellLabel(grid[k])},
+            erow{cellLabel(grid[k])};
+        for (std::size_t i = 0; i < row.times.size(); ++i) {
             srow.push_back(
-                harness::fmtSpeedup(base_time / times[i]));
+                harness::fmtSpeedup(row.base_time / row.times[i]));
             erow.push_back(
-                harness::fmtDouble(energies[i] / base_energy));
+                harness::fmtDouble(row.energies[i] / row.base_energy));
         }
         speed.row(srow);
         energy.row(erow);

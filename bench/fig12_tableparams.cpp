@@ -40,8 +40,10 @@ const Config kConfigs[] = {
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+
     banner("Table 6: block correlation table configurations");
     {
         harness::TextTable t({"name", "Assoc", "NumSuccs", "NumRows"});
@@ -57,19 +59,26 @@ main()
     harness::TextTable t(headers);
 
     std::vector<std::vector<double>> per_config(std::size(kConfigs));
-    for (const Cell &cell : sweepGrid()) {
-        torch::Tape tape = models::buildModel(cell.model, cell.batch);
-        std::vector<double> times;
-        for (const auto &c : kConfigs) {
-            harness::ExperimentConfig cfg = defaultConfig();
-            cfg.deepum.table.assoc = c.assoc;
-            cfg.deepum.table.numSuccs = c.succs;
-            cfg.deepum.table.numRows = c.rows;
-            auto r = harness::runExperiment(
-                tape, harness::SystemKind::DeepUm, cfg);
-            times.push_back(r.secPer100Iters);
-        }
-        std::vector<std::string> row{cellLabel(cell)};
+    const auto grid = sweepGrid();
+    std::vector<std::vector<double>> cell_times =
+        mapCells<std::vector<double>>(pool, grid, [&](const Cell &cell) {
+            torch::Tape tape =
+                models::buildModel(cell.model, cell.batch);
+            std::vector<double> times;
+            for (const auto &c : kConfigs) {
+                harness::ExperimentConfig cfg = defaultConfig();
+                cfg.deepum.table.assoc = c.assoc;
+                cfg.deepum.table.numSuccs = c.succs;
+                cfg.deepum.table.numRows = c.rows;
+                auto r = harness::runExperiment(
+                    tape, harness::SystemKind::DeepUm, cfg);
+                times.push_back(r.secPer100Iters);
+            }
+            return times;
+        });
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+        const std::vector<double> &times = cell_times[k];
+        std::vector<std::string> row{cellLabel(grid[k])};
         for (std::size_t i = 0; i < times.size(); ++i) {
             double s = times[0] / times[i];
             per_config[i].push_back(s);

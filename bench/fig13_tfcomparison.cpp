@@ -14,7 +14,7 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto cfg = smallGpuConfig();
     auto scfg = swapConfig(cfg);
@@ -34,29 +34,33 @@ main()
     headers.push_back("Ideal");
     harness::TextTable t(headers);
 
-    for (const Cell &c : fig13Grid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-        auto um =
-            harness::runExperiment(tape, harness::SystemKind::Um, cfg);
-        std::vector<std::string> row{cellLabel(c)};
-        for (auto k : kTf) {
-            auto r = baselines::runBaseline(k, tape, scfg);
-            row.push_back(r.ok
-                              ? harness::fmtSpeedup(
-                                    um.secPer100Iters /
-                                    r.secPer100Iters)
-                              : std::string("not work"));
-        }
-        auto dum = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, cfg);
-        auto ideal = harness::runExperiment(
-            tape, harness::SystemKind::Ideal, cfg);
-        row.push_back(harness::fmtSpeedup(um.secPer100Iters /
-                                          dum.secPer100Iters));
-        row.push_back(harness::fmtSpeedup(um.secPer100Iters /
-                                          ideal.secPer100Iters));
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    auto rows = mapCells<std::vector<std::string>>(
+        pool, fig13Grid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            auto um = harness::runExperiment(
+                tape, harness::SystemKind::Um, cfg);
+            std::vector<std::string> row{cellLabel(c)};
+            for (auto k : kTf) {
+                auto r = baselines::runBaseline(k, tape, scfg);
+                row.push_back(r.ok
+                                  ? harness::fmtSpeedup(
+                                        um.secPer100Iters /
+                                        r.secPer100Iters)
+                                  : std::string("not work"));
+            }
+            auto dum = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, cfg);
+            auto ideal = harness::runExperiment(
+                tape, harness::SystemKind::Ideal, cfg);
+            row.push_back(harness::fmtSpeedup(um.secPer100Iters /
+                                              dum.secPer100Iters));
+            row.push_back(harness::fmtSpeedup(
+                um.secPer100Iters / ideal.secPer100Iters));
+            return row;
+        });
+    for (auto &row : rows)
         t.row(row);
-    }
 
     banner("Figure 13: speedup over naive UM on the 16 GB-class GPU "
            "(128 MiB at scale)");

@@ -3,14 +3,22 @@
  * google-benchmark microbenchmarks of the hot data structures on the
  * fault path: correlation-table record/lookup, execution ID hashing,
  * the SPSC queues, and driver residency checks — the operations the
- * paper argues are cheap enough to hide in fault handling.
+ * paper argues are cheap enough to hide in fault handling — plus the
+ * simulator's own hot core: event-queue push/pop and the inline
+ * event callable vs std::function.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <cstdint>
+#include <functional>
+#include <vector>
+
 #include "core/block_correlation_table.hh"
 #include "core/exec_correlation_table.hh"
 #include "core/execution_id_table.hh"
+#include "sim/event_queue.hh"
+#include "sim/inline_fn.hh"
 #include "sim/rng.hh"
 #include "sim/spsc_queue.hh"
 
@@ -94,5 +102,77 @@ BM_SpscQueueRoundTrip(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SpscQueueRoundTrip);
+
+/** The simulator's delay mix (see bench/sim_throughput.cpp). */
+std::vector<sim::Tick>
+mixedDelays()
+{
+    std::vector<sim::Tick> delays(1024);
+    sim::Rng rng(42);
+    for (auto &d : delays) {
+        std::uint64_t r = rng.below(100);
+        if (r < 10)
+            d = 0;
+        else if (r < 80)
+            d = 1 + rng.below(2000);
+        else
+            d = 10'000 + rng.below(200'000);
+    }
+    return delays;
+}
+
+/**
+ * Steady-state calendar-queue push+pop: a standing population of
+ * 1024 events, one scheduled and one executed per iteration.
+ */
+void
+BM_EventQueueScheduleStep(benchmark::State &state)
+{
+    sim::EventQueue eq;
+    const auto delays = mixedDelays();
+    std::uint64_t sink = 0, n = 0;
+    for (std::uint64_t i = 0; i < 1024; ++i)
+        eq.scheduleIn(delays[i & 1023], [&sink] { ++sink; });
+    for (auto _ : state) {
+        eq.scheduleIn(delays[++n & 1023], [&sink] { ++sink; });
+        eq.step();
+    }
+    benchmark::DoNotOptimize(sink);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EventQueueScheduleStep);
+
+// The event-callable comparison: a 24-byte capture fits InlineFn's
+// buffer but exceeds libstdc++'s 16-byte std::function SBO, so the
+// std::function variant pays an allocation per event — the cost the
+// rewrite removed from every schedule().
+
+void
+BM_InlineFnConstructInvoke(benchmark::State &state)
+{
+    std::uint64_t a = 1, b = 2, c = 3;
+    for (auto _ : state) {
+        sim::InlineFn fn(
+            [pa = &a, pb = &b, pc = &c] { *pa += *pb + *pc; });
+        fn();
+    }
+    benchmark::DoNotOptimize(a);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InlineFnConstructInvoke);
+
+void
+BM_StdFunctionConstructInvoke(benchmark::State &state)
+{
+    std::uint64_t a = 1, b = 2, c = 3;
+    for (auto _ : state) {
+        std::function<void()> fn(
+            [pa = &a, pb = &b, pc = &c] { *pa += *pb + *pc; });
+        fn();
+    }
+    benchmark::DoNotOptimize(a);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StdFunctionConstructInvoke);
 
 } // namespace

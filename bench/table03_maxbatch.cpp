@@ -14,7 +14,7 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto cfg = defaultConfig();
     auto scfg = swapConfig(cfg);
@@ -31,25 +31,39 @@ main()
         {"resnet152", 64, 32 * 1024},
     };
 
+    // Rows fan out onto the pool; within a row the DeepUM search
+    // also hands the pool to maxBatch() so its doubling-phase probes
+    // run speculatively in parallel when a row has the pool to
+    // itself (nested calls fall back to serial).
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    auto rows = pool.map<std::vector<std::string>>(
+        std::size(kProbes), [&](std::size_t i) {
+            const Probe &p = kProbes[i];
+            std::uint64_t lms = baselines::maxBatchBaseline(
+                baselines::BaselineKind::Lms, p.model, scfg, p.lo,
+                p.hi);
+            std::uint64_t mod = baselines::maxBatchBaseline(
+                baselines::BaselineKind::LmsMod, p.model, scfg, p.lo,
+                p.hi);
+            std::uint64_t dum = harness::maxBatch(
+                p.model, harness::SystemKind::DeepUm, cfg, p.lo,
+                p.hi, &pool);
+            return std::vector<std::string>{
+                p.model,
+                lms ? harness::fmtBatch(lms)
+                    : std::string("not work"),
+                mod ? harness::fmtBatch(mod)
+                    : std::string("not work"),
+                harness::fmtBatch(dum),
+                lms ? harness::fmtSpeedup(static_cast<double>(dum) /
+                                          static_cast<double>(lms))
+                    : std::string("-")};
+        });
+
     harness::TextTable t(
         {"model", "LMS", "LMS-mod", "DeepUM", "DeepUM/LMS"});
-    for (const auto &p : kProbes) {
-        std::uint64_t lms = baselines::maxBatchBaseline(
-            baselines::BaselineKind::Lms, p.model, scfg, p.lo, p.hi);
-        std::uint64_t mod = baselines::maxBatchBaseline(
-            baselines::BaselineKind::LmsMod, p.model, scfg, p.lo,
-            p.hi);
-        std::uint64_t dum = harness::maxBatch(
-            p.model, harness::SystemKind::DeepUm, cfg, p.lo, p.hi);
-        t.row({p.model,
-               lms ? harness::fmtBatch(lms) : std::string("not work"),
-               mod ? harness::fmtBatch(mod) : std::string("not work"),
-               harness::fmtBatch(dum),
-               lms ? harness::fmtSpeedup(
-                         static_cast<double>(dum) /
-                         static_cast<double>(lms))
-                   : std::string("-")});
-    }
+    for (auto &row : rows)
+        t.row(row);
 
     banner("Table 3: maximum possible batch sizes (host backing "
            "store 4 GiB at 1/128 scale)");

@@ -12,26 +12,31 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto cfg = defaultConfig();
 
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    auto rows = mapCells<std::vector<std::string>>(
+        pool, fig9Grid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            auto dum = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, cfg);
+            if (!dum.ok)
+                return std::vector<std::string>{cellLabel(c), "OOM",
+                                                "-"};
+            // Every launch site has a distinct argument hash, so the
+            // execution ID count equals the kernels per iteration.
+            return std::vector<std::string>{
+                cellLabel(c),
+                std::to_string(tape.launchesPerIteration()),
+                harness::fmtMiB(dum.tableBytes)};
+        });
+
     harness::TextTable t(
         {"model/batch", "execution IDs", "table size"});
-    for (const Cell &c : fig9Grid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-        auto dum = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, cfg);
-        if (!dum.ok) {
-            t.row({cellLabel(c), "OOM", "-"});
-            continue;
-        }
-        // Every launch site has a distinct argument hash, so the
-        // execution ID count equals the kernels per iteration.
-        t.row({cellLabel(c),
-               std::to_string(tape.launchesPerIteration()),
-               harness::fmtMiB(dum.tableBytes)});
-    }
+    for (auto &row : rows)
+        t.row(row);
 
     banner("Table 4: correlation table size (one block table per "
            "execution ID, allocated lazily)");

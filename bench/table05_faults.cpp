@@ -12,34 +12,41 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto cfg = defaultConfig();
 
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    auto rows = mapCells<std::vector<std::string>>(
+        pool, fig9Grid(), [&](const Cell &c) {
+            torch::Tape tape = models::buildModel(c.model, c.batch);
+            auto um = harness::runExperiment(
+                tape, harness::SystemKind::Um, cfg);
+            auto dum = harness::runExperiment(
+                tape, harness::SystemKind::DeepUm, cfg);
+            std::string ratio_str;
+            if (um.pageFaultsPerIter <= 0) {
+                // no oversubscription: nothing to reduce
+                ratio_str = "-";
+            } else {
+                double ratio =
+                    dum.pageFaultsPerIter / um.pageFaultsPerIter;
+                ratio_str =
+                    ratio < 0.001
+                        ? "< 0.1%"
+                        : harness::fmtDouble(100.0 * ratio, 1) + "%";
+            }
+            return std::vector<std::string>{
+                cellLabel(c),
+                harness::fmtDouble(um.pageFaultsPerIter, 0),
+                harness::fmtDouble(dum.pageFaultsPerIter, 0),
+                ratio_str};
+        });
+
     harness::TextTable t({"model/batch", "fault count of UM",
                           "fault count of DeepUM", "ratio"});
-    for (const Cell &c : fig9Grid()) {
-        torch::Tape tape = models::buildModel(c.model, c.batch);
-        auto um =
-            harness::runExperiment(tape, harness::SystemKind::Um, cfg);
-        auto dum = harness::runExperiment(
-            tape, harness::SystemKind::DeepUm, cfg);
-        std::string ratio_str;
-        if (um.pageFaultsPerIter <= 0) {
-            ratio_str = "-"; // no oversubscription: nothing to reduce
-        } else {
-            double ratio =
-                dum.pageFaultsPerIter / um.pageFaultsPerIter;
-            ratio_str = ratio < 0.001
-                            ? "< 0.1%"
-                            : harness::fmtDouble(100.0 * ratio, 1) +
-                                  "%";
-        }
-        t.row({cellLabel(c),
-               harness::fmtDouble(um.pageFaultsPerIter, 0),
-               harness::fmtDouble(dum.pageFaultsPerIter, 0),
-               ratio_str});
-    }
+    for (auto &row : rows)
+        t.row(row);
 
     banner("Table 5: average page faults per training iteration");
     t.print(std::cout);

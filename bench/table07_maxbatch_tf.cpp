@@ -14,7 +14,7 @@ using namespace deepum;
 using namespace deepum::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     auto cfg = smallGpuConfig();
     cfg.hostMemBytes = 1 * sim::kGiB;
@@ -45,19 +45,25 @@ main()
     headers.push_back("DeepUM");
     harness::TextTable t(headers);
 
-    for (const auto &p : kProbes) {
-        std::vector<std::string> row{p.model};
-        for (auto k : kTf) {
-            std::uint64_t mb = baselines::maxBatchBaseline(
-                k, p.model, scfg, p.lo, p.hi);
-            row.push_back(mb ? harness::fmtBatch(mb)
-                             : std::string("not work"));
-        }
-        std::uint64_t dum = harness::maxBatch(
-            p.model, harness::SystemKind::DeepUm, cfg, p.lo, p.hi);
-        row.push_back(harness::fmtBatch(dum));
+    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    auto rows = pool.map<std::vector<std::string>>(
+        std::size(kProbes), [&](std::size_t i) {
+            const auto &p = kProbes[i];
+            std::vector<std::string> row{p.model};
+            for (auto k : kTf) {
+                std::uint64_t mb = baselines::maxBatchBaseline(
+                    k, p.model, scfg, p.lo, p.hi);
+                row.push_back(mb ? harness::fmtBatch(mb)
+                                 : std::string("not work"));
+            }
+            std::uint64_t dum = harness::maxBatch(
+                p.model, harness::SystemKind::DeepUm, cfg, p.lo,
+                p.hi, &pool);
+            row.push_back(harness::fmtBatch(dum));
+            return row;
+        });
+    for (auto &row : rows)
         t.row(row);
-    }
 
     banner("Table 7: maximum batch sizes, 16 GB-class GPU, host "
            "capped at 1 GiB (128 GB at scale)");

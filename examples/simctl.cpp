@@ -14,14 +14,24 @@
  *          [--no-prefetch] [--no-preevict] [--no-invalidate]
  *          [--seed 12345] [--dump-stats]
  *          [--trace trace.json] [--stats-json stats.json]
+ *
+ * A comma-separated `--batches 16,32,64` sweeps several batch sizes
+ * in one invocation and prints one row per batch; `--jobs N` runs
+ * the sweep cells on N threads (results are identical to --jobs 1 —
+ * each cell owns a private simulator, see harness/parallel.hh).
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "harness/experiment.hh"
+#include "harness/parallel.hh"
 #include "harness/report.hh"
 #include "models/registry.hh"
 #include "sim/logging.hh"
@@ -45,11 +55,16 @@ usage()
         "[--no-invalidate]\n"
         "              [--seed N] [--dump-stats] [--list-models]\n"
         "              [--trace <file>] [--stats-json <file>]\n"
+        "              [--batches N,N,...] [--jobs N]\n"
         "\n"
         "  --trace <file>       write a Chrome/Perfetto trace of the "
         "run\n"
         "  --stats-json <file>  write the full stat registry as "
-        "JSON\n");
+        "JSON\n"
+        "  --batches N,N,...    sweep several batch sizes, one row "
+        "each\n"
+        "  --jobs N             threads for the sweep (0 = one per "
+        "core)\n");
     std::exit(2);
 }
 
@@ -90,6 +105,8 @@ main(int argc, char **argv)
 {
     std::string model = "bert-base";
     std::uint64_t batch = 30;
+    std::vector<std::uint64_t> batches;
+    unsigned jobs = 1;
     std::string system = "deepum";
     bool dump_stats = false;
     harness::ExperimentConfig cfg;
@@ -100,6 +117,29 @@ main(int argc, char **argv)
             model = strArg(argc, argv, i);
         } else if (a == "--batch") {
             batch = numArg(argc, argv, i);
+        } else if (a == "--batches") {
+            std::string list = strArg(argc, argv, i);
+            for (std::size_t pos = 0; pos < list.size();) {
+                std::size_t comma = list.find(',', pos);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                char *end = nullptr;
+                const char *tok = list.c_str() + pos;
+                std::uint64_t v = std::strtoull(tok, &end, 10);
+                if (end != list.c_str() + comma || comma == pos) {
+                    std::fprintf(stderr,
+                                 "simctl: --batches expects a "
+                                 "comma-separated number list\n");
+                    usage();
+                }
+                batches.push_back(v);
+                pos = comma + 1;
+            }
+        } else if (a == "--jobs") {
+            jobs = static_cast<unsigned>(numArg(argc, argv, i));
+            if (jobs == 0)
+                jobs = std::max(
+                    1u, std::thread::hardware_concurrency());
         } else if (a == "--system") {
             system = strArg(argc, argv, i);
         } else if (a == "--gpu-mib") {
@@ -166,6 +206,42 @@ main(int argc, char **argv)
                    model.c_str());
     if (cfg.warmup >= cfg.iterations)
         sim::fatal("--warmup must be smaller than --iters");
+
+    if (!batches.empty()) {
+        if (!cfg.traceFile.empty() || !cfg.statsJsonFile.empty())
+            sim::fatal("--trace/--stats-json write one file per run; "
+                       "not supported with --batches");
+        std::printf("%s system=%s gpu=%s jobs=%u\n", model.c_str(),
+                    harness::systemName(kind),
+                    harness::fmtMiB(cfg.gpuMemBytes).c_str(), jobs);
+        harness::ParallelRunner pool(jobs);
+        std::vector<harness::RunResult> results =
+            pool.map<harness::RunResult>(
+                batches.size(), [&](std::size_t i) {
+                    torch::Tape t =
+                        models::buildModel(model, batches[i]);
+                    return harness::runExperiment(t, kind, cfg);
+                });
+        harness::TextTable t({"batch", "s/100iter", "faults/iter",
+                              "MiB HtoD/iter", "J/iter"});
+        for (std::size_t i = 0; i < batches.size(); ++i) {
+            const harness::RunResult &r = results[i];
+            if (!r.ok) {
+                t.row({harness::fmtBatch(batches[i]), "OOM", "-",
+                       "-", "-"});
+                continue;
+            }
+            t.row({harness::fmtBatch(batches[i]),
+                   harness::fmtDouble(r.secPer100Iters),
+                   harness::fmtDouble(r.pageFaultsPerIter, 0),
+                   harness::fmtDouble(
+                       static_cast<double>(r.bytesHtoDPerIter) /
+                       1048576.0, 1),
+                   harness::fmtDouble(r.energyJPerIter, 1)});
+        }
+        t.print(std::cout);
+        return 0;
+    }
 
     torch::Tape tape = models::buildModel(model, batch);
     std::printf("%s batch=%llu system=%s footprint=%s gpu=%s\n",

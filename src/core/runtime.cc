@@ -46,7 +46,7 @@ Runtime::memPrefetchAsync(mem::VAddr va, std::uint64_t bytes)
 }
 
 void
-Runtime::launchKernel(gpu::KernelInfo *k, std::function<void()> on_done)
+Runtime::launchKernel(gpu::KernelInfo *k, sim::EventFn on_done)
 {
     if (deepum_ != nullptr) {
         ExecId id = execIds_.lookupOrAssign(*k);

@@ -16,7 +16,6 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 
 #include "core/deepum.hh"
 #include "core/execution_id_table.hh"
@@ -69,7 +68,7 @@ class Runtime
      * into @p k for diagnostics/tracing), deliver the launch
      * callback to the DeepUM driver, then launch for real.
      */
-    void launchKernel(gpu::KernelInfo *k, std::function<void()> on_done);
+    void launchKernel(gpu::KernelInfo *k, sim::EventFn on_done);
 
     /** Runtime-side execution ID table. */
     const ExecutionIdTable &execIds() const { return execIds_; }

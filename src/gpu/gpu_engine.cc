@@ -27,7 +27,7 @@ GpuEngine::GpuEngine(sim::EventQueue &eq, const TimingConfig &cfg,
 }
 
 void
-GpuEngine::launch(const KernelInfo *kernel, std::function<void()> on_done)
+GpuEngine::launch(const KernelInfo *kernel, sim::EventFn on_done)
 {
     DEEPUM_ASSERT(!busy(), "kernel launch while the stream is busy");
     DEEPUM_ASSERT(backend_ != nullptr, "no backend attached");

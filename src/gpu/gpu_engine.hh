@@ -13,8 +13,6 @@
 
 #pragma once
 
-#include <functional>
-
 #include "gpu/backend.hh"
 #include "gpu/fault_buffer.hh"
 #include "gpu/kernel.hh"
@@ -45,7 +43,7 @@ class GpuEngine : public sim::SimObject
      * The kernel object must stay alive until completion. Only one
      * kernel may be in flight (single stream).
      */
-    void launch(const KernelInfo *kernel, std::function<void()> on_done);
+    void launch(const KernelInfo *kernel, sim::EventFn on_done);
 
     /**
      * Replay faulted accesses after the driver resolved them
@@ -74,7 +72,7 @@ class GpuEngine : public sim::SimObject
     UvmBackend *backend_ = nullptr;
 
     const KernelInfo *kernel_ = nullptr;
-    std::function<void()> onDone_;
+    sim::EventFn onDone_;
     std::size_t nextAccess_ = 0;
     bool stalled_ = false;
     sim::Tick stallStart_ = 0;

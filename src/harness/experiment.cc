@@ -8,6 +8,7 @@
 #include "gpu/fault_buffer.hh"
 #include "gpu/gpu_engine.hh"
 #include "gpu/pcie_link.hh"
+#include "harness/parallel.hh"
 #include "harness/session.hh"
 #include "mem/frame_pool.hh"
 #include "mem/va_space.hh"
@@ -154,9 +155,11 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
     if (deepum != nullptr)
         r.tableBytes = deepum->tableBytes();
 
-    for (const auto &[name, s] : stats.all())
-        r.stats.emplace(name, s->value());
-    for (const auto &[name, d] : stats.allDists()) {
+    // all()/allDists() are sorted, so hinting at end() makes every
+    // map insertion O(1).
+    for (const sim::Scalar *s : stats.all())
+        r.stats.emplace_hint(r.stats.end(), s->name(), s->value());
+    for (const sim::Distribution *d : stats.allDists()) {
         DistSummary ds;
         ds.count = d->count();
         ds.min = d->min();
@@ -165,7 +168,7 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
         ds.stddev = d->stddev();
         ds.p50 = d->percentile(50);
         ds.p99 = d->percentile(99);
-        r.dists.emplace(name, ds);
+        r.dists.emplace_hint(r.dists.end(), d->name(), ds);
     }
     return r;
 }
@@ -173,7 +176,7 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
 std::uint64_t
 maxBatch(const std::string &model, SystemKind kind,
          const ExperimentConfig &cfg, std::uint64_t lo,
-         std::uint64_t hi)
+         std::uint64_t hi, ParallelRunner *pool)
 {
     ExperimentConfig quick = cfg;
     quick.iterations = 3;
@@ -184,22 +187,61 @@ maxBatch(const std::string &model, SystemKind kind,
         return runExperiment(tape, kind, quick).ok;
     };
 
-    if (!fits(lo))
-        return 0;
-    // Exponential probe up to hi.
-    std::uint64_t good = lo, bad = 0;
-    std::uint64_t probe = lo;
-    while (probe < hi) {
-        probe = std::min(hi, probe * 2);
-        if (fits(probe)) {
-            good = probe;
-        } else {
-            bad = probe;
-            break;
+    std::uint64_t good = 0, bad = 0;
+    if (pool != nullptr && pool->jobs() > 1 &&
+        !ParallelRunner::inWorker()) {
+        // Speculative doubling: the probe ladder is known up front,
+        // so rungs run concurrently in waves of jobs() and the
+        // answer is read off the first failing rung — exactly where
+        // the serial loop below would have stopped. Waves bound the
+        // speculation: at most jobs()-1 probes past the failure are
+        // wasted (an OOM probe at a huge batch can be expensive, so
+        // firing the whole ladder at once would not pay off).
+        std::vector<std::uint64_t> ladder{lo};
+        while (ladder.back() < hi)
+            ladder.push_back(std::min(hi, ladder.back() * 2));
+        std::vector<char> fit(ladder.size(), 0);
+        std::size_t first_bad = ladder.size();
+        for (std::size_t base = 0;
+             base < ladder.size() && first_bad == ladder.size();
+             base += pool->jobs()) {
+            std::size_t wave =
+                std::min<std::size_t>(pool->jobs(),
+                                      ladder.size() - base);
+            pool->forEach(wave, [&](std::size_t i) {
+                fit[base + i] = fits(ladder[base + i]) ? 1 : 0;
+            });
+            for (std::size_t i = base; i < base + wave; ++i) {
+                if (!fit[i]) {
+                    first_bad = i;
+                    break;
+                }
+            }
         }
+        if (first_bad == 0)
+            return 0;
+        good = ladder[first_bad - 1];
+        if (first_bad == ladder.size())
+            return good; // everything up to hi fits
+        bad = ladder[first_bad];
+    } else {
+        if (!fits(lo))
+            return 0;
+        // Exponential probe up to hi.
+        good = lo;
+        std::uint64_t probe = lo;
+        while (probe < hi) {
+            probe = std::min(hi, probe * 2);
+            if (fits(probe)) {
+                good = probe;
+            } else {
+                bad = probe;
+                break;
+            }
+        }
+        if (bad == 0)
+            return good; // everything up to hi fits
     }
-    if (bad == 0)
-        return good; // everything up to hi fits
     while (bad - good > std::max<std::uint64_t>(1, good / 64)) {
         std::uint64_t mid = good + (bad - good) / 2;
         if (fits(mid))

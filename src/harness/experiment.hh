@@ -22,6 +22,8 @@
 
 namespace deepum::harness {
 
+class ParallelRunner;
+
 /** Which memory system executes the run. */
 enum class SystemKind {
     Ideal,  ///< GPU memory large enough: no oversubscription
@@ -97,10 +99,17 @@ RunResult runExperiment(const torch::Tape &tape, SystemKind kind,
  * Largest batch size that completes without OOM, searched by
  * doubling then bisection over @p build(batch) runs with a reduced
  * iteration count. @p lo must succeed (else returns 0).
+ *
+ * With a @p pool the doubling-phase probes run speculatively in
+ * parallel: the whole probe ladder lo, 2*lo, ..., hi is launched at
+ * once and the answer is read off the first failing rung — the same
+ * rung the serial early-exit loop would stop at, so the result is
+ * identical. The bisection refinement is inherently sequential and
+ * stays serial.
  */
 std::uint64_t
 maxBatch(const std::string &model, SystemKind kind,
          const ExperimentConfig &cfg, std::uint64_t lo,
-         std::uint64_t hi);
+         std::uint64_t hi, ParallelRunner *pool = nullptr);
 
 } // namespace deepum::harness

@@ -24,6 +24,10 @@ Session::Session(sim::EventQueue &eq, core::Runtime &rt,
       tensorVa_(tape.tensors.size(), 0)
 {
     tape_.validate();
+    // Resolve the per-iteration snapshot counters once; the name
+    // lookup would otherwise run at every iteration boundary.
+    pageFaults_ = stats.findScalar("uvm.pageFaults");
+    computeTicks_ = stats.findScalar("gpu.computeTicks");
 }
 
 bool
@@ -173,8 +177,10 @@ Session::processSteps()
             // Iteration boundary.
             IterSnapshot s;
             s.endTick = eq_.now();
-            s.pageFaults = stats_.get("uvm.pageFaults");
-            s.computeTicks = stats_.get("gpu.computeTicks");
+            s.pageFaults =
+                pageFaults_ != nullptr ? pageFaults_->value() : 0;
+            s.computeTicks =
+                computeTicks_ != nullptr ? computeTicks_->value() : 0;
             s.linkBusyTicks = link_.busyTicks();
             s.bytesHtoD = link_.bytesHtoD();
             s.bytesDtoH = link_.bytesDtoH();

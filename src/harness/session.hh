@@ -89,6 +89,10 @@ class Session
     core::Runtime &rt_;
     torch::CachingAllocator &alloc_;
     sim::StatSet &stats_;
+    /// Snapshot counters resolved once at construction (may be null
+    /// when the system registers neither, e.g. a stats-less stack).
+    const sim::Scalar *pageFaults_ = nullptr;
+    const sim::Scalar *computeTicks_ = nullptr;
     gpu::PcieLink &link_;
     const torch::Tape &tape_;
     std::uint32_t iterations_;

@@ -1,28 +1,142 @@
 #include "sim/event_queue.hh"
 
+#include <algorithm>
+
 #include "sim/logging.hh"
 
 namespace deepum::sim {
 
 void
+EventQueue::markOccupied(std::size_t slot)
+{
+    occupied_[slot >> 6] |= std::uint64_t(1) << (slot & 63);
+}
+
+void
+EventQueue::markEmpty(std::size_t slot)
+{
+    occupied_[slot >> 6] &= ~(std::uint64_t(1) << (slot & 63));
+}
+
+std::size_t
+EventQueue::nextOccupiedDistance() const
+{
+    const std::size_t s = slotOf(winStart_);
+    const std::size_t word = s >> 6;
+    const std::size_t bit = s & 63;
+
+    std::uint64_t w = occupied_[word] >> bit;
+    if (w != 0)
+        return static_cast<std::size_t>(__builtin_ctzll(w));
+
+    std::size_t dist = 64 - bit;
+    for (std::size_t i = 1; i < kWords; ++i) {
+        w = occupied_[(word + i) & (kWords - 1)];
+        if (w != 0)
+            return dist + static_cast<std::size_t>(__builtin_ctzll(w));
+        dist += 64;
+    }
+    // Wrap back into the low bits of the starting word.
+    if (bit != 0) {
+        w = occupied_[word] & ((std::uint64_t(1) << bit) - 1);
+        if (w != 0)
+            return dist + static_cast<std::size_t>(__builtin_ctzll(w));
+    }
+    panic("event ring bitmap empty with %zu events pending",
+          nearCount_);
+}
+
+void
+EventQueue::insertNear(Entry &&e)
+{
+    const std::uint64_t bn = bucketNum(e.when);
+    const std::size_t slot = slotOf(bn);
+    std::vector<Entry> &v = buckets_[slot];
+    if (bn == winStart_ && curSorted_) {
+        // The bucket being drained is kept sorted (descending, so
+        // back() is the minimum); keep new arrivals in order.
+        auto pos = std::lower_bound(v.begin(), v.end(), e, later);
+        v.insert(pos, std::move(e));
+    } else {
+        v.push_back(std::move(e));
+    }
+    if (v.size() == 1)
+        markOccupied(slot);
+    ++nearCount_;
+}
+
+void
 EventQueue::schedule(Tick when, EventFn fn)
 {
     if (when < curTick_)
-        panic("scheduling event in the past: %llu < %llu",
+        panic("scheduling event in the past: tick %llu < now %llu",
               static_cast<unsigned long long>(when),
               static_cast<unsigned long long>(curTick_));
-    events_.push(Entry{when, nextSeq_++, std::move(fn)});
+    const std::uint64_t bn = bucketNum(when);
+    if (bn >= winStart_ + kBuckets) {
+        overflow_.push_back(Entry{when, nextSeq_++, std::move(fn)});
+        std::push_heap(overflow_.begin(), overflow_.end(), later);
+        return;
+    }
+    const std::size_t slot = slotOf(bn);
+    std::vector<Entry> &v = buckets_[slot];
+    if (bn == winStart_ && curSorted_ && !v.empty()) {
+        insertNear(Entry{when, nextSeq_++, std::move(fn)});
+        return;
+    }
+    // Hot path: construct the entry directly in the bucket.
+    v.emplace_back(when, nextSeq_++, std::move(fn));
+    if (v.size() == 1)
+        markOccupied(slot);
+    ++nearCount_;
+}
+
+void
+EventQueue::migrateOverflow()
+{
+    while (!overflow_.empty() &&
+           bucketNum(overflow_.front().when) < winStart_ + kBuckets) {
+        std::pop_heap(overflow_.begin(), overflow_.end(), later);
+        insertNear(std::move(overflow_.back()));
+        overflow_.pop_back();
+    }
 }
 
 bool
 EventQueue::step()
 {
-    if (events_.empty())
-        return false;
-    // std::priority_queue::top() is const; move out via const_cast is
-    // UB-adjacent, so copy the small fields and swap the callback.
-    Entry e = std::move(const_cast<Entry &>(events_.top()));
-    events_.pop();
+    if (nearCount_ == 0) {
+        if (overflow_.empty())
+            return false;
+        // Ring drained: jump the window to the earliest far-future
+        // event and pull everything newly in range out of overflow.
+        winStart_ = bucketNum(overflow_.front().when);
+        curSorted_ = false;
+        migrateOverflow();
+    } else if (std::size_t d = nextOccupiedDistance(); d != 0) {
+        // Advance to the next non-empty bucket; the horizon moved,
+        // so overflow events may have come into range.
+        winStart_ += d;
+        curSorted_ = false;
+        migrateOverflow();
+    }
+
+    const std::size_t slot = slotOf(winStart_);
+    std::vector<Entry> &v = buckets_[slot];
+    if (!curSorted_) {
+        if (v.size() > 1)
+            std::sort(v.begin(), v.end(), later);
+        curSorted_ = true;
+    }
+
+    Entry e = std::move(v.back());
+    v.pop_back();
+    if (v.empty()) {
+        markEmpty(slot);
+        curSorted_ = false;
+    }
+    --nearCount_;
+
     curTick_ = e.when;
     ++executed_;
     e.fn();
@@ -41,8 +155,16 @@ EventQueue::run(std::uint64_t limit)
 void
 EventQueue::clear()
 {
-    while (!events_.empty())
-        events_.pop();
+    for (std::vector<Entry> &v : buckets_)
+        v.clear();
+    occupied_.fill(0);
+    overflow_.clear();
+    nearCount_ = 0;
+    curSorted_ = false;
+    winStart_ = 0;
+    curTick_ = 0;
+    nextSeq_ = 0;
+    executed_ = 0;
 }
 
 } // namespace deepum::sim

@@ -2,20 +2,30 @@
  * @file
  * Deterministic discrete-event queue.
  *
- * Events are std::function callbacks ordered by (tick, sequence
- * number); the sequence number makes simultaneous events run in
- * scheduling order, so identical inputs always produce identical
- * simulations. This is the spine every simulated component (GPU,
- * driver threads, PCIe link) hangs off.
+ * Events are small-buffer inline callables (sim/inline_fn.hh — no
+ * heap allocation for the captures the simulator schedules) ordered
+ * by (tick, sequence number); the sequence number makes simultaneous
+ * events run in scheduling order, so identical inputs always produce
+ * identical simulations. This is the spine every simulated component
+ * (GPU, driver threads, PCIe link) hangs off.
+ *
+ * Internally the queue is a two-tier calendar queue rather than a
+ * binary heap: a ring of fixed-width tick buckets covers the near
+ * future (the common case — launch overheads, fault latencies, DMA
+ * completions), and a min-heap overflow tier holds the far future.
+ * Buckets are unsorted until the clock reaches them, so the steady
+ * state is O(1) amortized push/pop instead of O(log n). See
+ * DESIGN.md "Event-queue core" for the full design and the
+ * determinism contract.
  */
 
 #pragma once
 
+#include <array>
 #include <cstdint>
-#include <functional>
-#include <queue>
 #include <vector>
 
+#include "sim/inline_fn.hh"
 #include "sim/types.hh"
 
 namespace deepum::sim {
@@ -23,10 +33,10 @@ namespace deepum::sim {
 class Tracer;
 
 /** Callback type executed when an event fires. */
-using EventFn = std::function<void()>;
+using EventFn = InlineFn;
 
 /**
- * A priority queue of timed callbacks with a deterministic tie-break.
+ * A calendar queue of timed callbacks with a deterministic tie-break.
  *
  * Components schedule closures at absolute or relative ticks; run()
  * drains the queue, advancing the simulated clock monotonically.
@@ -43,7 +53,7 @@ class EventQueue
 
     /**
      * Schedule @p fn at absolute tick @p when.
-     * Scheduling in the past is a simulator bug.
+     * Scheduling in the past aborts with the offending tick.
      */
     void schedule(Tick when, EventFn fn);
 
@@ -51,10 +61,10 @@ class EventQueue
     void scheduleIn(Tick delay, EventFn fn) { schedule(curTick_ + delay, std::move(fn)); }
 
     /** @return true if no events remain. */
-    bool empty() const { return events_.empty(); }
+    bool empty() const { return nearCount_ == 0 && overflow_.empty(); }
 
     /** @return number of pending events. */
-    std::size_t pending() const { return events_.size(); }
+    std::size_t pending() const { return nearCount_ + overflow_.size(); }
 
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
@@ -71,7 +81,13 @@ class EventQueue
      */
     bool step();
 
-    /** Drop all pending events (used between independent runs). */
+    /**
+     * Drop all pending events and return the queue to its freshly
+     * constructed state: the clock, the tie-break sequence counter
+     * and the executed counter all reset to zero, so independent
+     * runs sharing one queue object stay bit-identical to runs on a
+     * fresh queue.
+     */
     void clear();
 
     /**
@@ -91,17 +107,57 @@ class EventQueue
         EventFn fn;
     };
 
-    struct Later {
-        bool
-        operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+    /** True when @p a fires after @p b (the (tick, seq) contract). */
+    static bool
+    later(const Entry &a, const Entry &b)
+    {
+        if (a.when != b.when)
+            return a.when > b.when;
+        return a.seq > b.seq;
+    }
 
-    std::priority_queue<Entry, std::vector<Entry>, Later> events_;
+    /** log2 of the tick span one bucket covers. */
+    static constexpr std::uint32_t kWidthLog2 = 8;
+    /** Number of ring buckets (power of two). */
+    static constexpr std::size_t kBuckets = 1024;
+    static constexpr std::size_t kSlotMask = kBuckets - 1;
+    static constexpr std::size_t kWords = kBuckets / 64;
+
+    /** Calendar bucket number of tick @p t. */
+    static std::uint64_t bucketNum(Tick t) { return t >> kWidthLog2; }
+
+    /** Ring slot of bucket number @p bn. */
+    static std::size_t slotOf(std::uint64_t bn)
+    {
+        return static_cast<std::size_t>(bn) & kSlotMask;
+    }
+
+    void markOccupied(std::size_t slot);
+    void markEmpty(std::size_t slot);
+
+    /** Ring distance from slot(winStart_) to the next occupied slot. */
+    std::size_t nextOccupiedDistance() const;
+
+    /** Move overflow events that now fall inside the window. */
+    void migrateOverflow();
+
+    /** Insert @p e into its ring bucket (must be inside the window). */
+    void insertNear(Entry &&e);
+
+    /** Ring of unsorted future buckets; sorted only when drained. */
+    std::array<std::vector<Entry>, kBuckets> buckets_;
+    /** One bit per slot: bucket non-empty. */
+    std::array<std::uint64_t, kWords> occupied_{};
+    /** Min-heap (via later()) of events beyond the ring horizon. */
+    std::vector<Entry> overflow_;
+
+    /** Bucket number of the window start (the bucket being drained). */
+    std::uint64_t winStart_ = 0;
+    /** Events in the ring (overflow_ excluded). */
+    std::size_t nearCount_ = 0;
+    /** Current bucket is sorted descending; back() is the minimum. */
+    bool curSorted_ = false;
+
     Tracer *tracer_ = nullptr;
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Small-buffer callable for event callbacks.
+ *
+ * std::function<void()> heap-allocates any capture bigger than two
+ * words (16 bytes on libstdc++), which puts one malloc/free pair on
+ * every scheduled event. Every lambda the simulator schedules — the
+ * driver's migration completions, the GPU's advance steps, the
+ * session's launch continuations — captures at most a this-pointer
+ * plus a handful of scalars or one vector, all of which fit in the
+ * 48-byte inline buffer here, so event scheduling never touches the
+ * allocator. Oversized or throwing-move callables transparently fall
+ * back to a heap holder, keeping the type safe for arbitrary use.
+ */
+
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace deepum::sim {
+
+/**
+ * A move-only type-erased void() callable with a 48-byte inline
+ * small-buffer (no allocation for the captures used across the
+ * simulator) and a heap fallback for anything larger.
+ */
+class InlineFn
+{
+  public:
+    /** Captures up to this size (and alignment <= 16) stay inline. */
+    static constexpr std::size_t kInlineBytes = 48;
+    static constexpr std::size_t kAlign = 16;
+
+    InlineFn() noexcept = default;
+    InlineFn(std::nullptr_t) noexcept {}
+
+    /** Wrap any void() callable; moves (or copies) @p f in. */
+    template <typename F, typename D = std::decay_t<F>,
+              typename = std::enable_if_t<
+                  !std::is_same_v<D, InlineFn> &&
+                  std::is_invocable_r_v<void, D &>>>
+    InlineFn(F &&f) // NOLINT: implicit like std::function
+    {
+        if constexpr (fitsInline<D>()) {
+            ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
+            ops_ = &inlineOps<D>;
+        } else {
+            *reinterpret_cast<D **>(buf_) = new D(std::forward<F>(f));
+            ops_ = &heapOps<D>;
+        }
+    }
+
+    InlineFn(InlineFn &&other) noexcept { moveFrom(other); }
+
+    InlineFn &
+    operator=(InlineFn &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineFn(const InlineFn &) = delete;
+    InlineFn &operator=(const InlineFn &) = delete;
+
+    ~InlineFn() { reset(); }
+
+    /** Invoke the wrapped callable; must not be empty. */
+    void operator()() { ops_->invoke(buf_); }
+
+    /** @return true if a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Drop the held callable (back to empty). */
+    void
+    reset() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+  private:
+    struct Ops {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src, destroying src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+    };
+
+    template <typename D>
+    static constexpr bool
+    fitsInline()
+    {
+        return sizeof(D) <= kInlineBytes && alignof(D) <= kAlign &&
+               std::is_nothrow_move_constructible_v<D>;
+    }
+
+    /**
+     * Shared relocate/destroy for trivially copyable captures (the
+     * common case: a this-pointer plus scalars): one fixed-size
+     * memcpy and no destructor call, with no per-type code.
+     */
+    static void
+    memcpyRelocate(void *dst, void *src) noexcept
+    {
+        std::memcpy(dst, src, kInlineBytes);
+    }
+    static void noopDestroy(void *) noexcept {}
+
+    template <typename D>
+    static constexpr Ops inlineOps = {
+        [](void *s) { (*static_cast<D *>(s))(); },
+        std::is_trivially_copyable_v<D>
+            ? &memcpyRelocate
+            : +[](void *dst, void *src) noexcept {
+                  ::new (dst) D(std::move(*static_cast<D *>(src)));
+                  static_cast<D *>(src)->~D();
+              },
+        std::is_trivially_destructible_v<D>
+            ? &noopDestroy
+            : +[](void *s) noexcept { static_cast<D *>(s)->~D(); },
+    };
+
+    template <typename D>
+    static constexpr Ops heapOps = {
+        [](void *s) { (**static_cast<D **>(s))(); },
+        [](void *dst, void *src) noexcept {
+            *static_cast<D **>(dst) = *static_cast<D **>(src);
+        },
+        [](void *s) noexcept { delete *static_cast<D **>(s); },
+    };
+
+    void
+    moveFrom(InlineFn &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    alignas(kAlign) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace deepum::sim

@@ -93,39 +93,50 @@ Distribution::reset()
 void
 StatSet::add(Scalar *s)
 {
-    if (dists_.count(s->name()) != 0)
+    if (distIndex_.count(s->name()) != 0)
         panic("duplicate stat name: %s", s->name().c_str());
-    auto [it, inserted] = stats_.emplace(s->name(), s);
+    auto [it, inserted] =
+        scalarIndex_.emplace(std::string_view(s->name()), s);
     if (!inserted)
         panic("duplicate stat name: %s", s->name().c_str());
+    scalars_.push_back(s);
 }
 
 void
 StatSet::add(Distribution *d)
 {
-    if (stats_.count(d->name()) != 0)
+    if (scalarIndex_.count(d->name()) != 0)
         panic("duplicate stat name: %s", d->name().c_str());
-    auto [it, inserted] = dists_.emplace(d->name(), d);
+    auto [it, inserted] =
+        distIndex_.emplace(std::string_view(d->name()), d);
     if (!inserted)
         panic("duplicate stat name: %s", d->name().c_str());
+    dists_.push_back(d);
 }
 
 std::uint64_t
 StatSet::get(const std::string &name) const
 {
-    auto it = stats_.find(name);
-    if (it == stats_.end()) {
+    auto it = scalarIndex_.find(name);
+    if (it == scalarIndex_.end()) {
         warn("unknown stat queried: %s", name.c_str());
         return 0;
     }
     return it->second->value();
 }
 
+const Scalar *
+StatSet::findScalar(const std::string &name) const
+{
+    auto it = scalarIndex_.find(name);
+    return it == scalarIndex_.end() ? nullptr : it->second;
+}
+
 const Distribution *
 StatSet::getDist(const std::string &name) const
 {
-    auto it = dists_.find(name);
-    if (it == dists_.end()) {
+    auto it = distIndex_.find(name);
+    if (it == distIndex_.end()) {
         warn("unknown distribution queried: %s", name.c_str());
         return nullptr;
     }
@@ -135,16 +146,39 @@ StatSet::getDist(const std::string &name) const
 bool
 StatSet::has(const std::string &name) const
 {
-    return stats_.count(name) != 0 || dists_.count(name) != 0;
+    return scalarIndex_.count(name) != 0 ||
+           distIndex_.count(name) != 0;
 }
 
 void
 StatSet::resetAll()
 {
-    for (auto &[name, s] : stats_)
+    for (Scalar *s : scalars_)
         s->reset();
-    for (auto &[name, d] : dists_)
+    for (Distribution *d : dists_)
         d->reset();
+}
+
+std::vector<const Scalar *>
+StatSet::all() const
+{
+    std::vector<const Scalar *> v(scalars_.begin(), scalars_.end());
+    std::sort(v.begin(), v.end(),
+              [](const Scalar *a, const Scalar *b) {
+                  return a->name() < b->name();
+              });
+    return v;
+}
+
+std::vector<const Distribution *>
+StatSet::allDists() const
+{
+    std::vector<const Distribution *> v(dists_.begin(), dists_.end());
+    std::sort(v.begin(), v.end(),
+              [](const Distribution *a, const Distribution *b) {
+                  return a->name() < b->name();
+              });
+    return v;
 }
 
 namespace {
@@ -163,13 +197,13 @@ fmtDouble(double v)
 void
 StatSet::dump(std::ostream &os) const
 {
-    for (const auto &[name, s] : stats_) {
-        os << std::left << std::setw(44) << name << ' '
+    for (const Scalar *s : all()) {
+        os << std::left << std::setw(44) << s->name() << ' '
            << std::right << std::setw(16) << s->value()
            << "  # " << s->desc() << '\n';
     }
-    for (const auto &[name, d] : dists_) {
-        os << std::left << std::setw(44) << name << ' '
+    for (const Distribution *d : allDists()) {
+        os << std::left << std::setw(44) << d->name() << ' '
            << "count=" << d->count() << " min=" << d->min()
            << " max=" << d->max()
            << " mean=" << fmtDouble(d->mean())
@@ -185,15 +219,15 @@ StatSet::dumpJson(std::ostream &os) const
 {
     os << "{\n  \"scalars\": {";
     bool first = true;
-    for (const auto &[name, s] : stats_) {
-        os << (first ? "\n" : ",\n") << "    \"" << name
+    for (const Scalar *s : all()) {
+        os << (first ? "\n" : ",\n") << "    \"" << s->name()
            << "\": " << s->value();
         first = false;
     }
     os << "\n  },\n  \"distributions\": {";
     first = true;
-    for (const auto &[name, d] : dists_) {
-        os << (first ? "\n" : ",\n") << "    \"" << name << "\": {"
+    for (const Distribution *d : allDists()) {
+        os << (first ? "\n" : ",\n") << "    \"" << d->name() << "\": {"
            << "\"count\": " << d->count()
            << ", \"min\": " << d->min()
            << ", \"max\": " << d->max()

@@ -11,9 +11,11 @@
 
 #include <array>
 #include <cstdint>
-#include <map>
 #include <ostream>
 #include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
 
 namespace deepum::sim {
 
@@ -152,6 +154,11 @@ class Distribution
 /**
  * A registry of scalars and distributions that supports lookup,
  * reset, and dumping as text or JSON.
+ *
+ * Storage is registration-order vectors plus a hashed name index:
+ * registration and name lookup are O(1) (a full simulator stack is
+ * rebuilt per experiment cell, so both sit on the bench hot path),
+ * while the sorted views used by dumps are built on demand.
  */
 class StatSet
 {
@@ -171,6 +178,14 @@ class StatSet
      * @return the value, or 0 and a warning if missing.
      */
     std::uint64_t get(const std::string &name) const;
+
+    /**
+     * Look up a scalar by exact name without warning on a miss —
+     * for callers that resolve the pointer once and then read it on
+     * a per-iteration path instead of re-running the name lookup.
+     * @return the scalar, or nullptr if missing.
+     */
+    const Scalar *findScalar(const std::string &name) const;
 
     /**
      * Look up a distribution by exact name.
@@ -196,18 +211,20 @@ class StatSet
      */
     void dumpJson(std::ostream &os) const;
 
-    /** Access the full map (name -> scalar) for iteration. */
-    const std::map<std::string, Scalar *> &all() const { return stats_; }
+    /** Every scalar, sorted by name (built on call). */
+    std::vector<const Scalar *> all() const;
 
-    /** Access the full map (name -> distribution) for iteration. */
-    const std::map<std::string, Distribution *> &allDists() const
-    {
-        return dists_;
-    }
+    /** Every distribution, sorted by name (built on call). */
+    std::vector<const Distribution *> allDists() const;
 
   private:
-    std::map<std::string, Scalar *> stats_;
-    std::map<std::string, Distribution *> dists_;
+    // Registration order; the index keys are string_views into the
+    // stats' own name strings (a stat must outlive its StatSet use,
+    // as the class comments above already require).
+    std::vector<Scalar *> scalars_;
+    std::vector<Distribution *> dists_;
+    std::unordered_map<std::string_view, Scalar *> scalarIndex_;
+    std::unordered_map<std::string_view, Distribution *> distIndex_;
 };
 
 } // namespace deepum::sim
