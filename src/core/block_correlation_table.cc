@@ -1,8 +1,10 @@
 #include "core/block_correlation_table.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "sim/logging.hh"
+#include "sim/validate.hh"
 
 namespace deepum::core {
 
@@ -40,18 +42,13 @@ BlockCorrelationTable::setIndex(mem::BlockId b) const
 BlockCorrelationTable::Entry *
 BlockCorrelationTable::find(mem::BlockId b)
 {
-    Entry *base = &entries_[setIndex(b) * cfg_.assoc];
-    for (std::uint32_t w = 0; w < cfg_.assoc; ++w) {
-        if (base[w].tag == b)
-            return &base[w];
-    }
-    return nullptr;
+    return findEntry(*this, b);
 }
 
 const BlockCorrelationTable::Entry *
 BlockCorrelationTable::find(mem::BlockId b) const
 {
-    return const_cast<BlockCorrelationTable *>(this)->find(b);
+    return findEntry(*this, b);
 }
 
 void
@@ -154,6 +151,95 @@ BlockCorrelationTable::erase(mem::BlockId b)
     }
 }
 
+void
+BlockCorrelationTable::eraseRange(mem::BlockId first, mem::BlockId end)
+{
+    auto dead = [first, end](mem::BlockId b) {
+        return b >= first && b < end;
+    };
+    for (Entry &e : entries_) {
+        if (e.tag == uvm::kNoBlock)
+            continue;
+        if (dead(e.tag)) {
+            e.tag = uvm::kNoBlock;
+            e.succs.clear();
+            e.lastUse = 0;
+            e.lastEpoch = 0;
+            continue;
+        }
+        e.succs.erase(
+            std::remove_if(e.succs.begin(), e.succs.end(), dead),
+            e.succs.end());
+    }
+    if (start_ != uvm::kNoBlock && dead(start_))
+        start_ = uvm::kNoBlock;
+    if (end_ != uvm::kNoBlock && dead(end_))
+        end_ = uvm::kNoBlock;
+}
+
+void
+BlockCorrelationTable::checkInvariants(sim::CheckContext &ctx) const
+{
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        const std::size_t set = i / cfg_.assoc;
+        if (e.tag == uvm::kNoBlock) {
+            ctx.require(e.succs.empty() && e.lastUse == 0 &&
+                            e.lastEpoch == 0,
+                        "empty way %zu not fully reset", i);
+            continue;
+        }
+        ctx.require(setIndex(e.tag) == set,
+                    "tag %llu in set %zu hashes to set %zu",
+                    static_cast<unsigned long long>(e.tag), set,
+                    setIndex(e.tag));
+        ctx.require(e.succs.size() <= cfg_.numSuccs,
+                    "way %zu holds %zu successors, max %u", i,
+                    e.succs.size(), cfg_.numSuccs);
+        ctx.require(e.lastUse <= useClock_,
+                    "way %zu lastUse %llu beyond clock %llu", i,
+                    static_cast<unsigned long long>(e.lastUse),
+                    static_cast<unsigned long long>(useClock_));
+        ctx.require(e.lastEpoch <= epoch_,
+                    "way %zu lastEpoch %u beyond epoch %u", i,
+                    e.lastEpoch, epoch_);
+        for (std::size_t a = 0; a < e.succs.size(); ++a) {
+            for (std::size_t b = a + 1; b < e.succs.size(); ++b)
+                ctx.require(e.succs[a] != e.succs[b],
+                            "way %zu successor %llu duplicated", i,
+                            static_cast<unsigned long long>(
+                                e.succs[a]));
+        }
+        // No duplicate tag in the same set.
+        const Entry *base = &entries_[set * cfg_.assoc];
+        for (std::uint32_t w = i % cfg_.assoc + 1; w < cfg_.assoc; ++w)
+            ctx.require(base[w].tag != e.tag,
+                        "tag %llu duplicated within set %zu",
+                        static_cast<unsigned long long>(e.tag), set);
+    }
+}
+
+void
+BlockCorrelationTable::dumpState(std::ostream &os) const
+{
+    os << "BlockCorrelationTable{rows=" << cfg_.numRows
+       << " assoc=" << cfg_.assoc << " succs=" << cfg_.numSuccs
+       << " live=" << entryCount() << " start=" << start_
+       << " end=" << end_ << " epoch=" << epoch_
+       << " useClock=" << useClock_ << "}\n";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+        const Entry &e = entries_[i];
+        if (e.tag == uvm::kNoBlock)
+            continue;
+        os << "  way " << i << ": tag=" << e.tag
+           << " lastUse=" << e.lastUse << " lastEpoch=" << e.lastEpoch
+           << " succs=[";
+        for (std::size_t s = 0; s < e.succs.size(); ++s)
+            os << (s != 0 ? " " : "") << e.succs[s];
+        os << "]\n";
+    }
+}
+
 std::size_t
 BlockCorrelationTable::entryCount() const
 {
@@ -207,9 +293,44 @@ std::uint64_t
 BlockTableMap::totalSizeBytes() const
 {
     std::uint64_t bytes = 0;
+    // det-ok(unordered-iter): order-independent sum
     for (const auto &[id, t] : tables_)
         bytes += t->sizeBytes();
     return bytes;
+}
+
+void
+BlockTableMap::eraseBlocksInRange(mem::BlockId first, mem::BlockId end)
+{
+    // det-ok(unordered-iter): order-independent per-table scrub
+    for (auto &[id, t] : tables_)
+        t->eraseRange(first, end);
+}
+
+void
+BlockTableMap::checkInvariants(sim::CheckContext &ctx) const
+{
+    // det-ok(unordered-iter): order-independent audit
+    for (const auto &[id, t] : tables_) {
+        ctx.require(t != nullptr, "null table for exec %u", id);
+        t->checkInvariants(ctx);
+    }
+}
+
+void
+BlockTableMap::dumpState(std::ostream &os) const
+{
+    os << "BlockTableMap{tables=" << tables_.size() << "}\n";
+    std::vector<ExecId> ids;
+    ids.reserve(tables_.size());
+    // det-ok(unordered-iter): keys sorted before printing
+    for (const auto &[id, t] : tables_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (ExecId id : ids) {
+        os << " exec " << id << ": ";
+        tables_.at(id)->dumpState(os);
+    }
 }
 
 } // namespace deepum::core

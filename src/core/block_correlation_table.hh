@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -21,6 +22,10 @@
 #include "core/execution_id_table.hh"
 #include "mem/addr.hh"
 #include "uvm/block_info.hh"
+
+namespace deepum::sim {
+class CheckContext;
+}
 
 namespace deepum::core {
 
@@ -97,6 +102,15 @@ class BlockCorrelationTable
      */
     void erase(mem::BlockId b);
 
+    /**
+     * Scrub every reference to blocks in [@p first, @p end): entries
+     * tagged with them are dropped, they are removed from successor
+     * lists, and dangling start/end pointers reset. Called when a UM
+     * range is freed so the table never feeds dead blocks to the
+     * prefetcher.
+     */
+    void eraseRange(mem::BlockId first, mem::BlockId end);
+
     /** Executions (with faults) this table has seen. */
     std::uint32_t epoch() const { return epoch_; }
 
@@ -112,6 +126,17 @@ class BlockCorrelationTable
 
     const BlockTableConfig &config() const { return cfg_; }
 
+    /**
+     * Audit structural invariants (sim/validate.hh): tags hash to
+     * their set, no duplicate tags within a set, successor lists
+     * within associativity bounds and duplicate-free, use/epoch
+     * stamps within the counters, and empty ways fully reset.
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the live entries (for violation dumps). */
+    void dumpState(std::ostream &os) const;
+
   private:
     struct Entry {
         mem::BlockId tag = uvm::kNoBlock;
@@ -122,6 +147,24 @@ class BlockCorrelationTable
 
     /** Map @p b to its set index. */
     std::size_t setIndex(mem::BlockId b) const;
+
+    /**
+     * Shared lookup for both constnesses: probes @p self's set for
+     * @p b, propagating const through the deduced entry pointer (no
+     * const_cast).
+     */
+    template <typename SelfT>
+    static auto
+    findEntry(SelfT &self, mem::BlockId b)
+        -> decltype(&self.entries_[0])
+    {
+        auto *base = &self.entries_[self.setIndex(b) * self.cfg_.assoc];
+        for (std::uint32_t w = 0; w < self.cfg_.assoc; ++w) {
+            if (base[w].tag == b)
+                return &base[w];
+        }
+        return nullptr;
+    }
 
     /** Find @p b's entry in its set, or nullptr. */
     Entry *find(mem::BlockId b);
@@ -155,6 +198,25 @@ class BlockTableMap
 
     /** Total bytes across all allocated tables (paper Table 4). */
     std::uint64_t totalSizeBytes() const;
+
+    /** eraseRange() on every allocated table (UM range freed). */
+    void eraseBlocksInRange(mem::BlockId first, mem::BlockId end);
+
+    /** Audit every allocated table (sim/validate.hh). */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Visit every allocated table as (ExecId, table&). */
+    template <typename Fn>
+    void
+    forEachTable(Fn &&fn) const
+    {
+        // det-ok(unordered-iter): order-independent visit
+        for (const auto &[id, t] : tables_)
+            fn(id, *t);
+    }
+
+    /** Stream every allocated table, id-ordered (violation dumps). */
+    void dumpState(std::ostream &os) const;
 
   private:
     BlockTableConfig cfg_;

@@ -53,4 +53,17 @@ Correlator::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
     }
 }
 
+void
+Correlator::onRangeUnregistered(mem::BlockId first, mem::BlockId end)
+{
+    if (firstFault_ != uvm::kNoBlock && firstFault_ >= first &&
+        firstFault_ < end) {
+        firstFault_ = uvm::kNoBlock;
+    }
+    if (lastFault_ != uvm::kNoBlock && lastFault_ >= first &&
+        lastFault_ < end) {
+        lastFault_ = uvm::kNoBlock;
+    }
+}
+
 } // namespace deepum::core

@@ -34,6 +34,13 @@ class Correlator
     /** A preprocessed fault batch arrived (blocks in fault order). */
     void onFaultBlocks(const std::vector<mem::BlockId> &blocks);
 
+    /**
+     * Blocks [@p first, @p end) were freed: drop the in-progress
+     * first/last-fault capture if it names one of them, so a dead
+     * block is never committed as a chain start/end pointer.
+     */
+    void onRangeUnregistered(mem::BlockId first, mem::BlockId end);
+
     /** Execution ID of the kernel currently running. */
     ExecId currentExec() const { return current_; }
 

@@ -1,7 +1,10 @@
 #include "core/deepum.hh"
 
+#include <ostream>
+
 #include "core/deepum_policy.hh"
 #include "mem/addr.hh"
+#include "sim/validate.hh"
 
 namespace deepum::core {
 
@@ -86,6 +89,16 @@ DeepUm::onBlockMigrated(mem::BlockId block, bool was_prefetch)
 }
 
 void
+DeepUm::onRangeUnregistered(mem::BlockId first, mem::BlockId end)
+{
+    // The freed blocks' VA range can be handed out again; scrub every
+    // learned reference so stale correlations never chain onto a
+    // reused (or dead) address.
+    blockTables_.eraseBlocksInRange(first, end);
+    correlator_.onRangeUnregistered(first, end);
+}
+
+void
 DeepUm::onMigrationIdle()
 {
     if (cfg_.preevict)
@@ -112,6 +125,41 @@ DeepUm::onPrefetchUseful(mem::BlockId block, std::uint32_t exec_id)
     BlockCorrelationTable *bt = blockTables_.find(exec_id);
     if (bt != nullptr)
         bt->refresh(block);
+}
+
+void
+DeepUm::checkInvariants(sim::CheckContext &ctx) const
+{
+    execTable_.checkInvariants(ctx);
+    blockTables_.checkInvariants(ctx);
+    prefetcher_.checkInvariants(ctx);
+
+    // Chain start/end pointers are followed by the prefetcher; a
+    // committed pointer naming a block the driver no longer manages
+    // means the unregister scrub was missed.
+    blockTables_.forEachTable(
+        [&](ExecId id, const BlockCorrelationTable &t) {
+            ctx.require(t.start() == uvm::kNoBlock ||
+                            drv_.knowsBlock(t.start()),
+                        "exec %u chain start points at dead block "
+                        "%llu",
+                        id,
+                        static_cast<unsigned long long>(t.start()));
+            ctx.require(t.end() == uvm::kNoBlock ||
+                            drv_.knowsBlock(t.end()),
+                        "exec %u chain end points at dead block %llu",
+                        id,
+                        static_cast<unsigned long long>(t.end()));
+        });
+}
+
+void
+DeepUm::dumpState(std::ostream &os) const
+{
+    os << "DeepUm{tableBytes=" << tableBytes() << "}\n";
+    execTable_.dumpState(os);
+    blockTables_.dumpState(os);
+    prefetcher_.dumpState(os);
 }
 
 void

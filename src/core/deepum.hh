@@ -54,11 +54,26 @@ class DeepUm : public uvm::DriverListener
     const Prefetcher &prefetcher() const { return prefetcher_; }
     const PreEvictor &preEvictor() const { return preEvictor_; }
 
+    /** Mutable table access (validation tests seed violations here). */
+    BlockTableMap &blockTables() { return blockTables_; }
+
+    /**
+     * Audit the DeepUM-side structures (sim/validate.hh): delegates
+     * to the tables and prefetcher, and checks that every committed
+     * chain start/end pointer names a block the driver still knows.
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the component states (for violation dumps). */
+    void dumpState(std::ostream &os) const;
+
     // --- uvm::DriverListener ----------------------------------------
 
     void onFaultBatch(const std::vector<mem::BlockId> &blocks) override;
     void onKernelEnd(const gpu::KernelInfo &k) override;
     void onBlockMigrated(mem::BlockId block, bool was_prefetch) override;
+    void onRangeUnregistered(mem::BlockId first,
+                             mem::BlockId end) override;
     void onMigrationIdle() override;
     void onBlockAccessed(mem::BlockId block) override;
     void onPrefetchUseful(mem::BlockId block,

@@ -1,6 +1,9 @@
 #include "core/exec_correlation_table.hh"
 
 #include <algorithm>
+#include <ostream>
+
+#include "sim/validate.hh"
 
 namespace deepum::core {
 
@@ -49,9 +52,47 @@ std::uint64_t
 ExecCorrelationTable::sizeBytes() const
 {
     std::uint64_t bytes = 0;
+    // det-ok(unordered-iter): order-independent sum
     for (const auto &[id, recs] : entries_)
         bytes += sizeof(ExecId) + recs.size() * sizeof(Record);
     return bytes;
+}
+
+void
+ExecCorrelationTable::checkInvariants(sim::CheckContext &ctx) const
+{
+    // det-ok(unordered-iter): order-independent audit
+    for (const auto &[id, recs] : entries_) {
+        ctx.require(!recs.empty(), "exec %u entry has no records", id);
+        for (std::size_t a = 0; a < recs.size(); ++a) {
+            for (std::size_t b = a + 1; b < recs.size(); ++b)
+                ctx.require(!(recs[a].hist == recs[b].hist &&
+                              recs[a].next == recs[b].next),
+                            "exec %u holds a duplicate (history, "
+                            "next=%u) record",
+                            id, recs[a].next);
+        }
+    }
+}
+
+void
+ExecCorrelationTable::dumpState(std::ostream &os) const
+{
+    os << "ExecCorrelationTable{entries=" << entries_.size() << "}\n";
+    std::vector<ExecId> ids;
+    ids.reserve(entries_.size());
+    // det-ok(unordered-iter): keys sorted before printing
+    for (const auto &[id, recs] : entries_)
+        ids.push_back(id);
+    std::sort(ids.begin(), ids.end());
+    for (ExecId id : ids) {
+        os << "  exec " << id << ":";
+        // det-ok(unordered-iter): .at() yields one MRU-ordered vector
+        for (const Record &r : entries_.at(id))
+            os << " [(" << r.hist[0] << "," << r.hist[1] << ","
+               << r.hist[2] << ")->" << r.next << "]";
+        os << "\n";
+    }
 }
 
 } // namespace deepum::core

@@ -14,10 +14,15 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <unordered_map>
 #include <vector>
 
 #include "core/execution_id_table.hh"
+
+namespace deepum::sim {
+class CheckContext;
+}
 
 namespace deepum::core {
 
@@ -57,6 +62,16 @@ class ExecCorrelationTable
 
     /** Approximate resident bytes, for Table 4 accounting. */
     std::uint64_t sizeBytes() const;
+
+    /**
+     * Audit structure (sim/validate.hh): entries are non-empty and
+     * no (history, next) record is duplicated within an entry (the
+     * MRU-dedupe contract of record()).
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the table, id-ordered (for violation dumps). */
+    void dumpState(std::ostream &os) const;
 
   private:
     /** Per-entry record list, MRU first. */

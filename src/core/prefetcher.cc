@@ -1,6 +1,10 @@
 #include "core/prefetcher.hh"
 
+#include <algorithm>
+#include <ostream>
+
 #include "sim/trace.hh"
+#include "sim/validate.hh"
 
 namespace deepum::core {
 
@@ -329,6 +333,71 @@ Prefetcher::transitionChain()
             return true;
         // Degenerate single-fault kernel: keep transitioning.
     }
+}
+
+void
+Prefetcher::checkInvariants(sim::CheckContext &ctx) const
+{
+    // Rebuild the refcounts from the slot lists; they must agree
+    // with protected_ exactly.
+    std::unordered_map<mem::BlockId, std::uint32_t> expected;
+    for (const Slot &s : slots_) {
+        for (mem::BlockId b : s.blocks)
+            ++expected[b];
+    }
+    ctx.require(expected.size() == protected_.size(),
+                "protection map holds %zu blocks, slots reference "
+                "%zu",
+                protected_.size(), expected.size());
+    // det-ok(unordered-iter): order-independent audit
+    for (const auto &[b, n] : protected_) {
+        ctx.require(n > 0, "block %llu protected with zero refcount",
+                    static_cast<unsigned long long>(b));
+        auto it = expected.find(b);
+        ctx.require(it != expected.end() && it->second == n,
+                    "block %llu refcount %u disagrees with slot "
+                    "lists (%u)",
+                    static_cast<unsigned long long>(b), n,
+                    it == expected.end() ? 0 : it->second);
+    }
+
+    ctx.require(slots_.size() <= std::size_t(cfg_.lookaheadN) + 2,
+                "prediction window holds %zu slots, lookahead is %u",
+                slots_.size(), cfg_.lookaheadN);
+    ctx.require(chainDepth_ == 0 || chainDepth_ < slots_.size(),
+                "chain cursor %u outside the %zu-slot window",
+                chainDepth_, slots_.size());
+    // det-ok(unordered-iter): order-independent audit
+    for (const auto &[id, ticks] : pendingDone_)
+        ctx.require(!ticks.empty(),
+                    "empty pending-completion list for exec %u", id);
+}
+
+void
+Prefetcher::dumpState(std::ostream &os) const
+{
+    os << "Prefetcher{active=" << active_ << " paused=" << paused_
+       << " chainDepth=" << chainDepth_ << " predCur=" << predCur_
+       << " budget=" << budget_ << " slots=" << slots_.size()
+       << " protected=" << protected_.size()
+       << " walk=" << walk_.size() << "}\n";
+    for (std::size_t i = 0; i < slots_.size(); ++i) {
+        os << "  slot " << i << ": exec=" << slots_[i].exec
+           << " blocks=[";
+        for (std::size_t j = 0; j < slots_[i].blocks.size(); ++j)
+            os << (j != 0 ? " " : "") << slots_[i].blocks[j];
+        os << "]\n";
+    }
+    std::vector<mem::BlockId> prot;
+    prot.reserve(protected_.size());
+    // det-ok(unordered-iter): keys sorted before printing
+    for (const auto &[b, n] : protected_)
+        prot.push_back(b);
+    std::sort(prot.begin(), prot.end());
+    os << "  protected:";
+    for (mem::BlockId b : prot)
+        os << " " << b << "x" << protected_.at(b);
+    os << "\n";
 }
 
 } // namespace deepum::core

@@ -21,6 +21,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <iosfwd>
 #include <unordered_map>
 #include <unordered_set>
 #include <vector>
@@ -77,6 +78,18 @@ class Prefetcher
 
     /** Number of distinct blocks currently protected. */
     std::size_t protectedCount() const { return protected_.size(); }
+
+    /**
+     * Audit the protection bookkeeping (sim/validate.hh): the
+     * refcount map must equal the multiset union of the slot block
+     * lists, counts must be positive, the window must respect the
+     * lookahead bound, and the chain cursor must point into the
+     * window.
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the window and protection state (violation dumps). */
+    void dumpState(std::ostream &os) const;
 
   private:
     /** One kernel's slot in the prediction window. */

@@ -17,6 +17,7 @@
 #include "sim/logging.hh"
 #include "sim/stats.hh"
 #include "sim/trace.hh"
+#include "sim/validate.hh"
 #include "torch/allocator.hh"
 #include "torch/um_source.hh"
 #include "uvm/driver.hh"
@@ -99,6 +100,20 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
         deepum = std::make_unique<core::DeepUm>(driver, cfg.deepum,
                                                 stats);
 
+#ifdef DEEPUM_VALIDATE
+    // DEEPUM_VALIDATE builds re-audit the whole stack after every
+    // fault batch and kernel retirement; registration order fixes the
+    // audit order.
+    sim::Validator validator;
+    validator.add("sim.eventq", eq);
+    validator.add("mem.frames", frames);
+    validator.add("mem.va", va);
+    validator.add("uvm.driver", driver);
+    if (deepum != nullptr)
+        validator.add("core.deepum", *deepum);
+    driver.setValidator(&validator);
+#endif
+
     core::Runtime runtime(va, driver, engine, deepum.get());
     torch::UmSegmentSource source(runtime);
     torch::CachingAllocator alloc(source, stats);
@@ -109,6 +124,18 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
                     cfg.iterations, cfg.seed,
                     /*manual_prefetch=*/kind == SystemKind::OcDnn);
     bool ok = session.run();
+
+#ifdef DEEPUM_VALIDATE
+    // One final audit of the quiesced stack, then export the counts
+    // so an end-to-end run can prove the hooks actually fired.
+    validator.runAll("session-end");
+    sim::Scalar validatePasses(stats, "validate.passes",
+                               "invariant audit sweeps completed");
+    sim::Scalar validateChecks(stats, "validate.checks",
+                               "invariant conditions evaluated");
+    validatePasses += validator.passes();
+    validateChecks += validator.checks();
+#endif
 
     if (tracer != nullptr)
         writeFileOrWarn(cfg.traceFile, "trace",

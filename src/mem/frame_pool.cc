@@ -1,6 +1,9 @@
 #include "mem/frame_pool.hh"
 
+#include <ostream>
+
 #include "sim/logging.hh"
+#include "sim/validate.hh"
 
 namespace deepum::mem {
 
@@ -29,6 +32,31 @@ FramePool::release(std::uint64_t pages)
                    static_cast<unsigned long long>(pages),
                    static_cast<unsigned long long>(total_));
     free_ += pages;
+}
+
+void
+FramePool::checkInvariants(sim::CheckContext &ctx) const
+{
+    ctx.require(free_ <= total_,
+                "free pages %llu exceed capacity %llu",
+                static_cast<unsigned long long>(free_),
+                static_cast<unsigned long long>(total_));
+    ctx.require(peakUsed_ <= total_,
+                "peak used %llu exceeds capacity %llu",
+                static_cast<unsigned long long>(peakUsed_),
+                static_cast<unsigned long long>(total_));
+    ctx.require(usedPages() <= peakUsed_,
+                "used pages %llu exceed recorded peak %llu",
+                static_cast<unsigned long long>(usedPages()),
+                static_cast<unsigned long long>(peakUsed_));
+}
+
+void
+FramePool::dumpState(std::ostream &os) const
+{
+    os << "FramePool{total=" << total_ << " free=" << free_
+       << " used=" << usedPages() << " peakUsed=" << peakUsed_
+       << "}\n";
 }
 
 } // namespace deepum::mem

@@ -10,6 +10,11 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
+
+namespace deepum::sim {
+class CheckContext;
+}
 
 namespace deepum::mem {
 
@@ -36,6 +41,12 @@ class FramePool
 
     /** High-watermark of used frames. */
     std::uint64_t peakUsedPages() const { return peakUsed_; }
+
+    /** Audit counter bounds (sim/validate.hh). */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the counters (for violation dumps). */
+    void dumpState(std::ostream &os) const;
 
   private:
     std::uint64_t total_;

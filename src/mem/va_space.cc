@@ -1,6 +1,9 @@
 #include "mem/va_space.hh"
 
+#include <ostream>
+
 #include "sim/logging.hh"
+#include "sim/validate.hh"
 
 namespace deepum::mem {
 
@@ -80,6 +83,82 @@ VaSpace::sizeOf(VAddr va) const
 {
     auto it = live_.find(va);
     return it == live_.end() ? 0 : it->second;
+}
+
+void
+VaSpace::checkInvariants(sim::CheckContext &ctx) const
+{
+    // Merge-walk live_ and free_ in address order: together they
+    // must tile [base_, base_ + capacity_) exactly.
+    auto li = live_.begin();
+    auto fi = free_.begin();
+    VAddr cursor = base_;
+    std::uint64_t live_sum = 0;
+    VAddr prev_free_end = 0;
+    bool have_prev_free = false;
+
+    while (li != live_.end() || fi != free_.end()) {
+        bool take_live =
+            fi == free_.end() ||
+            (li != live_.end() && li->first < fi->first);
+        VAddr rb = take_live ? li->first : fi->first;
+        std::uint64_t rs = take_live ? li->second : fi->second;
+
+        ctx.require(rb == cursor,
+                    "%s range at 0x%llx does not abut previous end "
+                    "0x%llx (gap or overlap)",
+                    take_live ? "live" : "free",
+                    static_cast<unsigned long long>(rb),
+                    static_cast<unsigned long long>(cursor));
+        ctx.require(rs > 0, "zero-sized %s range at 0x%llx",
+                    take_live ? "live" : "free",
+                    static_cast<unsigned long long>(rb));
+        if (take_live) {
+            ctx.require(rb % kBlockBytes == 0,
+                        "live range 0x%llx not block-aligned",
+                        static_cast<unsigned long long>(rb));
+            ctx.require(rs % kPageSize == 0,
+                        "live range 0x%llx size %llu not page-rounded",
+                        static_cast<unsigned long long>(rb),
+                        static_cast<unsigned long long>(rs));
+            live_sum += rs;
+            ++li;
+        } else {
+            ctx.require(!have_prev_free || prev_free_end != rb,
+                        "uncoalesced free neighbours meet at 0x%llx",
+                        static_cast<unsigned long long>(rb));
+            prev_free_end = rb + rs;
+            have_prev_free = true;
+            ++fi;
+        }
+        cursor = rb + rs;
+    }
+    ctx.require(cursor == base_ + capacity_,
+                "ranges end at 0x%llx, heap ends at 0x%llx",
+                static_cast<unsigned long long>(cursor),
+                static_cast<unsigned long long>(base_ + capacity_));
+    ctx.require(live_sum == usedBytes_,
+                "usedBytes %llu != sum of live ranges %llu",
+                static_cast<unsigned long long>(usedBytes_),
+                static_cast<unsigned long long>(live_sum));
+    ctx.require(peakBytes_ >= usedBytes_,
+                "peakBytes %llu below usedBytes %llu",
+                static_cast<unsigned long long>(peakBytes_),
+                static_cast<unsigned long long>(usedBytes_));
+}
+
+void
+VaSpace::dumpState(std::ostream &os) const
+{
+    os << "VaSpace{base=0x" << std::hex << base_ << std::dec
+       << " capacity=" << capacity_ << " used=" << usedBytes_
+       << " peak=" << peakBytes_ << " live=" << live_.size()
+       << " freeRanges=" << free_.size() << "}\n" << std::hex;
+    for (const auto &[va, size] : live_)
+        os << "  live 0x" << va << " +0x" << size << "\n";
+    for (const auto &[va, size] : free_)
+        os << "  free 0x" << va << " +0x" << size << "\n";
+    os << std::dec;
 }
 
 bool

@@ -12,9 +12,14 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <map>
 
 #include "mem/addr.hh"
+
+namespace deepum::sim {
+class CheckContext;
+}
 
 namespace deepum::mem {
 
@@ -59,6 +64,18 @@ class VaSpace
 
     /** Number of live allocations. */
     std::size_t liveAllocations() const { return live_.size(); }
+
+    /**
+     * Audit the allocator bookkeeping (sim/validate.hh): live and
+     * free ranges must exactly tile [base, base+capacity) without
+     * overlap, free neighbours must be coalesced, every live grant
+     * must be block-aligned and page-rounded, and usedBytes must
+     * equal the sum of live sizes.
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the range maps (for violation dumps). */
+    void dumpState(std::ostream &os) const;
 
   private:
     VAddr base_;

@@ -1,8 +1,10 @@
 #include "sim/event_queue.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "sim/logging.hh"
+#include "sim/validate.hh"
 
 namespace deepum::sim {
 
@@ -137,6 +139,13 @@ EventQueue::step()
     }
     --nearCount_;
 
+#ifdef DEEPUM_VALIDATE
+    DEEPUM_ASSERT(e.when >= curTick_,
+                  "event queue time travel: next event tick %llu < "
+                  "now %llu",
+                  static_cast<unsigned long long>(e.when),
+                  static_cast<unsigned long long>(curTick_));
+#endif
     curTick_ = e.when;
     ++executed_;
     e.fn();
@@ -150,6 +159,96 @@ EventQueue::run(std::uint64_t limit)
     while (n < limit && step())
         ++n;
     return curTick_;
+}
+
+void
+EventQueue::checkInvariants(CheckContext &ctx) const
+{
+    std::size_t counted = 0;
+    for (std::size_t slot = 0; slot < kBuckets; ++slot) {
+        const std::vector<Entry> &v = buckets_[slot];
+        counted += v.size();
+        const bool bit =
+            (occupied_[slot >> 6] >> (slot & 63)) & std::uint64_t(1);
+        ctx.require(bit == !v.empty(),
+                    "occupancy bit for slot %zu says %d but bucket "
+                    "holds %zu events",
+                    slot, int(bit), v.size());
+        for (const Entry &e : v) {
+            ctx.require(e.when >= curTick_,
+                        "pending near event at tick %llu predates "
+                        "now %llu",
+                        static_cast<unsigned long long>(e.when),
+                        static_cast<unsigned long long>(curTick_));
+            ctx.require(e.seq < nextSeq_,
+                        "event seq %llu >= next seq %llu",
+                        static_cast<unsigned long long>(e.seq),
+                        static_cast<unsigned long long>(nextSeq_));
+            const std::uint64_t bn = bucketNum(e.when);
+            ctx.require(slotOf(bn) == slot,
+                        "event for bucket %llu stored in slot %zu",
+                        static_cast<unsigned long long>(bn), slot);
+            ctx.require(bn >= winStart_ && bn < winStart_ + kBuckets,
+                        "near event bucket %llu outside window "
+                        "[%llu, %llu)",
+                        static_cast<unsigned long long>(bn),
+                        static_cast<unsigned long long>(winStart_),
+                        static_cast<unsigned long long>(winStart_ +
+                                                        kBuckets));
+        }
+    }
+    ctx.require(counted == nearCount_,
+                "nearCount_ %zu != %zu events actually in the ring",
+                nearCount_, counted);
+
+    if (curSorted_) {
+        const std::vector<Entry> &v = buckets_[slotOf(winStart_)];
+        for (std::size_t i = 1; i < v.size(); ++i)
+            ctx.require(!later(v[i], v[i - 1]),
+                        "current bucket not sorted descending at "
+                        "index %zu",
+                        i);
+    }
+
+    for (std::size_t i = 0; i < overflow_.size(); ++i) {
+        const Entry &e = overflow_[i];
+        ctx.require(e.when >= curTick_,
+                    "overflow event at tick %llu predates now %llu",
+                    static_cast<unsigned long long>(e.when),
+                    static_cast<unsigned long long>(curTick_));
+        if (i > 0) {
+            // Min-heap via later(): a parent never fires after its
+            // child.
+            const Entry &parent = overflow_[(i - 1) / 2];
+            ctx.require(!later(parent, e),
+                        "overflow heap property broken at index %zu",
+                        i);
+        }
+    }
+}
+
+void
+EventQueue::dumpState(std::ostream &os) const
+{
+    os << "EventQueue{now=" << curTick_ << " nextSeq=" << nextSeq_
+       << " executed=" << executed_ << " nearCount=" << nearCount_
+       << " overflow=" << overflow_.size() << " winStart=" << winStart_
+       << " curSorted=" << curSorted_ << "}\n";
+    for (std::size_t slot = 0; slot < kBuckets; ++slot) {
+        const std::vector<Entry> &v = buckets_[slot];
+        if (v.empty())
+            continue;
+        os << "  slot " << slot << " (" << v.size() << " events):";
+        for (const Entry &e : v)
+            os << " (t=" << e.when << ",s=" << e.seq << ")";
+        os << "\n";
+    }
+    if (!overflow_.empty()) {
+        os << "  overflow:";
+        for (const Entry &e : overflow_)
+            os << " (t=" << e.when << ",s=" << e.seq << ")";
+        os << "\n";
+    }
 }
 
 void

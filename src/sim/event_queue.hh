@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <iosfwd>
 #include <vector>
 
 #include "sim/inline_fn.hh"
@@ -30,6 +31,7 @@
 
 namespace deepum::sim {
 
+class CheckContext;
 class Tracer;
 
 /** Callback type executed when an event fires. */
@@ -99,6 +101,17 @@ class EventQueue
 
     /** The attached tracer, or nullptr when tracing is disabled. */
     Tracer *tracer() const { return tracer_; }
+
+    /**
+     * Audit the calendar-queue structure (sim/validate.hh): bitmap vs
+     * bucket contents, near-count bookkeeping, window placement, the
+     * overflow heap property, and that no pending event predates the
+     * clock (monotonicity).
+     */
+    void checkInvariants(CheckContext &ctx) const;
+
+    /** Stream a summary of the queue internals (for violation dumps). */
+    void dumpState(std::ostream &os) const;
 
   private:
     struct Entry {

@@ -49,7 +49,11 @@ class InlineFn
             ::new (static_cast<void *>(buf_)) D(std::forward<F>(f));
             ops_ = &inlineOps<D>;
         } else {
-            *reinterpret_cast<D **>(buf_) = new D(std::forward<F>(f));
+            // The buffer holds a D* in the heap case. Storing it via
+            // placement-new keeps the access well-defined (no
+            // type-punning reinterpret_cast of the char buffer).
+            ::new (static_cast<void *>(buf_)) (D *)(
+                new D(std::forward<F>(f)));
             ops_ = &heapOps<D>;
         }
     }
@@ -133,7 +137,7 @@ class InlineFn
     static constexpr Ops heapOps = {
         [](void *s) { (**static_cast<D **>(s))(); },
         [](void *dst, void *src) noexcept {
-            *static_cast<D **>(dst) = *static_cast<D **>(src);
+            ::new (dst) (D *)(*static_cast<D **>(src));
         },
         [](void *s) noexcept { delete *static_cast<D **>(s); },
     };

@@ -84,6 +84,15 @@ class SpscQueue
     /** Remove every element. */
     void clear() { head_ = tail_ = 0; }
 
+    /** Visit every queued element front to back (validation). */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn) const
+    {
+        for (std::size_t i = head_; i != tail_; i = inc(i))
+            fn(buf_[i]);
+    }
+
   private:
     std::size_t
     inc(std::size_t i) const

@@ -1,0 +1,59 @@
+#include "sim/validate.hh"
+
+#include <cstdarg>
+#include <cstdio>
+#include <iostream>
+#include <sstream>
+
+#include "sim/logging.hh"
+
+namespace deepum::sim {
+
+void
+CheckContext::require(bool cond, const char *fmt, ...)
+{
+    ++checks_;
+    if (cond) [[likely]]
+        return;
+    va_list ap;
+    va_start(ap, fmt);
+    vfail(fmt, ap);
+}
+
+void
+CheckContext::fail(const char *fmt, ...)
+{
+    ++checks_;
+    va_list ap;
+    va_start(ap, fmt);
+    vfail(fmt, ap);
+}
+
+void
+CheckContext::vfail(const char *fmt, va_list ap)
+{
+    char msg[1024];
+    std::vsnprintf(msg, sizeof(msg), fmt, ap);
+    va_end(ap);
+    if (dump_) {
+        std::ostringstream os;
+        dump_(os);
+        std::fputs("---- state dump ----\n", stderr);
+        std::fputs(os.str().c_str(), stderr);
+        std::fputs("---- end dump ----\n", stderr);
+    }
+    panic("invariant violated in %s (%s): %s", component_, where_, msg);
+}
+
+void
+Validator::runAll(const char *where)
+{
+    for (const Component &c : components_) {
+        CheckContext ctx(c.name, where, c.dump);
+        c.check(ctx);
+        checks_ += ctx.checks();
+    }
+    ++passes_;
+}
+
+} // namespace deepum::sim

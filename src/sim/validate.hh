@@ -1,0 +1,128 @@
+/**
+ * @file
+ * Runtime invariant validation (the DEEPUM_VALIDATE layer).
+ *
+ * Every stateful subsystem exposes two plain methods:
+ *
+ *     void checkInvariants(sim::CheckContext &ctx) const;
+ *     void dumpState(std::ostream &os) const;
+ *
+ * A Validator collects components (non-intrusively, no base class)
+ * and runAll() audits each in registration order. A failed check
+ * prints the violated condition, streams the offending component's
+ * state dump, and panics — a drifted structure must never be
+ * simulated past.
+ *
+ * The classes compile in every build so tests can drive them
+ * directly; what the DEEPUM_VALIDATE CMake option controls is the
+ * *hooks*: with it ON the UVM driver re-audits the whole stack after
+ * every fault batch and every kernel retirement, with it OFF (the
+ * default) no call site exists and the layer is zero-cost.
+ */
+
+#pragma once
+
+#include <cstdarg>
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <vector>
+
+namespace deepum::sim {
+
+/** True in builds configured with -DDEEPUM_VALIDATE=ON. */
+#ifdef DEEPUM_VALIDATE
+inline constexpr bool kValidateBuild = true;
+#else
+inline constexpr bool kValidateBuild = false;
+#endif
+
+/**
+ * Handed to checkInvariants(); counts checks and reports failures.
+ *
+ * require() is the workhorse: when the condition is false it prints
+ * the formatted violation, the component's state dump, and panics.
+ */
+class CheckContext
+{
+  public:
+    using DumpFn = std::function<void(std::ostream &)>;
+
+    /**
+     * @param component name of the structure being audited
+     * @param where which hook triggered the audit (for the report)
+     * @param dump streams the component state on failure (may be null)
+     */
+    CheckContext(const char *component, const char *where, DumpFn dump)
+        : component_(component), where_(where), dump_(std::move(dump))
+    {
+    }
+
+    /** Panic with the dump unless @p cond holds (printf-style). */
+    void require(bool cond, const char *fmt, ...)
+        __attribute__((format(printf, 3, 4)));
+
+    /** Unconditional violation (printf-style). */
+    [[noreturn]] void fail(const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    /** Individual conditions evaluated so far. */
+    std::uint64_t checks() const { return checks_; }
+
+    const char *component() const { return component_; }
+    const char *where() const { return where_; }
+
+  private:
+    [[noreturn]] void vfail(const char *fmt, va_list ap);
+
+    const char *component_;
+    const char *where_;
+    DumpFn dump_;
+    std::uint64_t checks_ = 0;
+};
+
+/**
+ * A fixed-order registry of auditable components.
+ *
+ * Registration order is audit order, so validation output (and the
+ * first structure to trip on a genuine drift) is deterministic.
+ */
+class Validator
+{
+  public:
+    /** Register @p obj under @p name; @p obj must outlive the runs. */
+    template <typename T>
+    void
+    add(const char *name, const T &obj)
+    {
+        const T *p = &obj;
+        components_.push_back(Component{
+            name,
+            [p](CheckContext &ctx) { p->checkInvariants(ctx); },
+            [p](std::ostream &os) { p->dumpState(os); }});
+    }
+
+    /** Audit every component; @p where labels the calling hook. */
+    void runAll(const char *where);
+
+    /** Completed runAll() sweeps. */
+    std::uint64_t passes() const { return passes_; }
+
+    /** Total individual checks across all sweeps. */
+    std::uint64_t checks() const { return checks_; }
+
+    std::size_t componentCount() const { return components_.size(); }
+
+  private:
+    struct Component {
+        const char *name;
+        std::function<void(CheckContext &)> check;
+        CheckContext::DumpFn dump;
+    };
+
+    std::vector<Component> components_;
+    std::uint64_t passes_ = 0;
+    std::uint64_t checks_ = 0;
+};
+
+} // namespace deepum::sim

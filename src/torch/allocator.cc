@@ -39,6 +39,7 @@ CachingAllocator::~CachingAllocator()
     };
     destroy_pool(small_);
     destroy_pool(large_);
+    // det-ok(unordered-iter): teardown deletes, order-independent
     for (auto &[va, b] : activeMap_)
         delete b;
     activeMap_.clear();

@@ -1,9 +1,23 @@
 #include "uvm/driver.hh"
 
 #include <algorithm>
+#include <ostream>
 
 #include "sim/logging.hh"
 #include "sim/trace.hh"
+#include "sim/validate.hh"
+
+#ifdef DEEPUM_VALIDATE
+#define DEEPUM_VALIDATE_HOOK(where)                                    \
+    do {                                                               \
+        if (validator_ != nullptr)                                     \
+            validator_->runAll(where);                                 \
+    } while (0)
+#else
+#define DEEPUM_VALIDATE_HOOK(where)                                    \
+    do {                                                               \
+    } while (0)
+#endif
 
 namespace deepum::uvm {
 
@@ -121,6 +135,12 @@ Driver::unregisterRange(mem::VAddr va, std::uint64_t bytes)
         }
         outstanding_.erase(b);
         blocks_.erase(it);
+    }
+    mem::BlockId first = mem::firstBlock(va, bytes);
+    mem::BlockId end = mem::endBlock(va, bytes);
+    if (first != end) {
+        for (auto *l : listeners_)
+            l->onRangeUnregistered(first, end);
     }
 }
 
@@ -251,6 +271,7 @@ Driver::onKernelEnd(const gpu::KernelInfo &k)
 {
     for (auto *l : listeners_)
         l->onKernelEnd(k);
+    DEEPUM_VALIDATE_HOOK("kernel-end");
 }
 
 void
@@ -332,6 +353,7 @@ Driver::handleFaults()
         if (auto *tr = eventq().tracer())
             tr->counter(sim::Track::FaultHandler, "faultQueueDepth",
                         curTick(), faultQueue_.size());
+        DEEPUM_VALIDATE_HOOK("fault-batch");
 
         if (outstanding_.empty()) {
             // Everything already resident: replay immediately.
@@ -427,6 +449,7 @@ Driver::migrationStep()
         }
         bool ok = frames_.reserve(bi.pages);
         DEEPUM_ASSERT(ok, "frame reservation failed after makeRoom");
+        inFlightPages_ += bi.pages;
 
         bool htod = (bi.loc == Loc::Host);
         std::uint32_t pages = bi.pages;
@@ -470,6 +493,9 @@ Driver::migrationStep()
         mem::BlockId b = cmd.block;
         std::uint32_t exec_id = cmd.execId;
         eventq().schedule(t, [this, b, demand, htod, pages, exec_id] {
+            DEEPUM_ASSERT(inFlightPages_ >= pages,
+                          "in-flight page accounting underflow");
+            inFlightPages_ -= pages;
             auto bit = blocks_.find(b);
             if (bit == blocks_.end()) {
                 // Freed mid-flight: hand the frames back.
@@ -577,6 +603,154 @@ Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
              sim::Tracer::arg("pages", std::uint64_t(bi.pages))});
     for (auto *l : listeners_)
         l->onBlockEvicted(victim, invalidate);
+}
+
+// --------------------------------------------------------------------
+// Validation
+// --------------------------------------------------------------------
+
+void
+Driver::checkInvariants(sim::CheckContext &ctx) const
+{
+    // Residency vs FramePool: every frame in use belongs to a
+    // resident block or to a migration whose completion event is in
+    // flight. This is the double-count/leak check the related UVM
+    // oversubscription studies motivate.
+    std::uint64_t device_pages = 0;
+    std::size_t device_blocks = 0;
+    // det-ok(unordered-iter): order-independent audit accumulation
+    for (const auto &[b, bi] : blocks_) {
+        if (bi.loc == Loc::Device) {
+            device_pages += bi.pages;
+            ++device_blocks;
+            ctx.require(lruPos_.count(b) != 0,
+                        "resident block %llu missing from LRU index",
+                        static_cast<unsigned long long>(b));
+        } else {
+            ctx.require(lruPos_.count(b) == 0,
+                        "non-resident block %llu present in LRU index",
+                        static_cast<unsigned long long>(b));
+        }
+        ctx.require(bi.inactiveBytes <=
+                        std::uint64_t(bi.pages) * mem::kPageSize,
+                    "block %llu inactive bytes %llu exceed its size",
+                    static_cast<unsigned long long>(b),
+                    static_cast<unsigned long long>(bi.inactiveBytes));
+    }
+    ctx.require(device_pages + inFlightPages_ == frames_.usedPages(),
+                "frame accounting drift: %llu resident + %llu in "
+                "flight != %llu frames used",
+                static_cast<unsigned long long>(device_pages),
+                static_cast<unsigned long long>(inFlightPages_),
+                static_cast<unsigned long long>(frames_.usedPages()));
+    ctx.require(migBusy_ || inFlightPages_ == 0,
+                "migration thread idle with %llu pages in flight",
+                static_cast<unsigned long long>(inFlightPages_));
+
+    // LRU list vs position index vs migration-order stamps.
+    ctx.require(lru_.size() == lruPos_.size(),
+                "LRU list holds %zu blocks, index holds %zu",
+                lru_.size(), lruPos_.size());
+    ctx.require(lru_.size() == device_blocks,
+                "LRU list holds %zu blocks, %zu are resident",
+                lru_.size(), device_blocks);
+    std::uint64_t prev_seq = 0;
+    bool have_prev = false;
+    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
+        auto bit = blocks_.find(*it);
+        ctx.require(bit != blocks_.end(),
+                    "LRU block %llu not registered",
+                    static_cast<unsigned long long>(*it));
+        if (bit == blocks_.end())
+            continue;
+        ctx.require(bit->second.loc == Loc::Device,
+                    "LRU block %llu not resident",
+                    static_cast<unsigned long long>(*it));
+        auto lp = lruPos_.find(*it);
+        ctx.require(lp != lruPos_.end() && lp->second == it,
+                    "LRU index for block %llu points elsewhere",
+                    static_cast<unsigned long long>(*it));
+        ctx.require(bit->second.migrateSeq <= migrateSeq_,
+                    "block %llu migrateSeq %llu beyond counter %llu",
+                    static_cast<unsigned long long>(*it),
+                    static_cast<unsigned long long>(
+                        bit->second.migrateSeq),
+                    static_cast<unsigned long long>(migrateSeq_));
+        ctx.require(!have_prev || bit->second.migrateSeq > prev_seq,
+                    "LRU order broken: block %llu migrateSeq %llu "
+                    "not after predecessor's %llu",
+                    static_cast<unsigned long long>(*it),
+                    static_cast<unsigned long long>(
+                        bit->second.migrateSeq),
+                    static_cast<unsigned long long>(prev_seq));
+        prev_seq = bit->second.migrateSeq;
+        have_prev = true;
+    }
+
+    // Pinned (fault-outstanding) blocks must be registered.
+    // det-ok(unordered-iter): order-independent audit accumulation
+    for (mem::BlockId b : outstanding_)
+        ctx.require(blocks_.count(b) != 0,
+                    "pinned block %llu not registered",
+                    static_cast<unsigned long long>(b));
+
+    // Queued-flag agreement: a set flag means the block really is in
+    // the respective queue. (The reverse is legal: a queued command
+    // can outlive its block being freed and re-registered.)
+    std::unordered_set<mem::BlockId> in_fault;
+    faultQueue_.forEach(
+        [&](const MigrateCmd &c) { in_fault.insert(c.block); });
+    std::unordered_set<mem::BlockId> in_prefetch;
+    prefetchQueue_.forEach(
+        [&](const MigrateCmd &c) { in_prefetch.insert(c.block); });
+    // det-ok(unordered-iter): order-independent audit accumulation
+    for (const auto &[b, bi] : blocks_) {
+        ctx.require(!bi.queuedFault || in_fault.count(b) != 0,
+                    "block %llu flagged fault-queued but absent from "
+                    "the fault queue",
+                    static_cast<unsigned long long>(b));
+        ctx.require(!bi.queuedPrefetch || in_prefetch.count(b) != 0,
+                    "block %llu flagged prefetch-queued but absent "
+                    "from the prefetch queue",
+                    static_cast<unsigned long long>(b));
+    }
+}
+
+void
+Driver::dumpState(std::ostream &os) const
+{
+    os << "Driver{blocks=" << blocks_.size() << " lru=" << lru_.size()
+       << " outstanding=" << outstanding_.size()
+       << " faultQueue=" << faultQueue_.size()
+       << " prefetchQueue=" << prefetchQueue_.size()
+       << " migBusy=" << migBusy_ << " inFlightPages=" << inFlightPages_
+       << " migrateSeq=" << migrateSeq_ << "}\n";
+    os << "  frames: used=" << frames_.usedPages()
+       << " free=" << frames_.freePages()
+       << " total=" << frames_.totalPages() << "\n";
+
+    std::vector<mem::BlockId> ids;
+    ids.reserve(blocks_.size());
+    // det-ok(unordered-iter): keys sorted before printing
+    for (const auto &[b, bi] : blocks_)
+        ids.push_back(b);
+    std::sort(ids.begin(), ids.end());
+    for (mem::BlockId b : ids) {
+        const BlockInfo &bi = blocks_.at(b);
+        os << "  block " << b << ": pages=" << bi.pages << " loc="
+           << (bi.loc == Loc::Device
+                   ? "device"
+                   : bi.loc == Loc::Host ? "host" : "unpopulated")
+           << " seq=" << bi.migrateSeq
+           << (bi.prefetched ? " prefetched" : "")
+           << (bi.queuedFault ? " qF" : "")
+           << (bi.queuedPrefetch ? " qP" : "")
+           << (outstanding_.count(b) != 0 ? " pinned" : "") << "\n";
+    }
+    os << "  lru:";
+    for (mem::BlockId b : lru_)
+        os << " " << b;
+    os << "\n";
 }
 
 } // namespace deepum::uvm

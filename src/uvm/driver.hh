@@ -20,6 +20,7 @@
 #pragma once
 
 #include <cstdint>
+#include <iosfwd>
 #include <list>
 #include <memory>
 #include <unordered_map>
@@ -38,6 +39,11 @@
 #include "uvm/block_info.hh"
 #include "uvm/eviction_policy.hh"
 #include "uvm/listener.hh"
+
+namespace deepum::sim {
+class CheckContext;
+class Validator;
+}
 
 namespace deepum::uvm {
 
@@ -127,6 +133,26 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     const mem::FramePool &frames() const { return frames_; }
     const gpu::TimingConfig &timing() const { return cfg_; }
 
+    // --- validation (sim/validate.hh) -------------------------------
+
+    /**
+     * Attach the validator that DEEPUM_VALIDATE builds re-run after
+     * every fault batch and kernel retirement (null detaches; no-op
+     * call sites in non-validate builds).
+     */
+    void setValidator(sim::Validator *v) { validator_ = v; }
+
+    /**
+     * Audit the residency bookkeeping: per-block residency vs the
+     * FramePool counts (with in-flight migrations accounted), the
+     * LRU list / position-map / migrateSeq-order consistency, pinned
+     * blocks being known, and queued-flag vs queue-content agreement.
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the block table and queues (for violation dumps). */
+    void dumpState(std::ostream &os) const;
+
     // --- gpu::UvmBackend --------------------------------------------
 
     bool isResident(mem::BlockId block) const override;
@@ -173,12 +199,15 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
 
     std::vector<DriverListener *> listeners_;
     std::unique_ptr<EvictionPolicy> policy_;
+    sim::Validator *validator_ = nullptr;
 
     bool invalidationEnabled_ = false;
     bool faultHandlerPending_ = false;
     bool migBusy_ = false;
     bool replayPending_ = false;
     std::uint64_t migrateSeq_ = 0;
+    /** Frames reserved for migrations whose completion is in flight. */
+    std::uint64_t inFlightPages_ = 0;
 
     // Statistics (paper Table 5, Figure 10 inputs).
     sim::Scalar pageFaults_;

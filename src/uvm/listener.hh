@@ -56,6 +56,18 @@ class DriverListener
     /** The migration thread ran out of queued work. */
     virtual void onMigrationIdle() {}
 
+    /**
+     * The UM range covering blocks [@p first, @p end) was freed; any
+     * learned state naming those blocks is now stale and must be
+     * dropped (the allocator frees segments mid-run via emptyCache).
+     */
+    virtual void
+    onRangeUnregistered(mem::BlockId first, mem::BlockId end)
+    {
+        (void)first;
+        (void)end;
+    }
+
     /** The GPU touched a resident @p block (hot path, keep cheap). */
     virtual void onBlockAccessed(mem::BlockId block) { (void)block; }
 

@@ -114,6 +114,32 @@ TEST(EventQueueDeath, SchedulingInThePastPanics)
     EXPECT_DEATH(eq.schedule(50, [] {}), "past");
 }
 
+TEST(EventQueueDeath, PastTickPanicNamesBothTicks)
+{
+    EventQueue eq;
+    eq.schedule(100, [] {});
+    eq.run();
+    // The report must carry both the offending and the current tick.
+    EXPECT_DEATH(eq.schedule(50, [] {}),
+                 "scheduling event in the past: tick 50 < now 100");
+}
+
+TEST(LoggingDeath, AssertPrintsStringifiedCondition)
+{
+    int lhs = 1;
+    EXPECT_DEATH(DEEPUM_ASSERT(lhs == 2, "unused"),
+                 "assertion failed: lhs == 2");
+}
+
+TEST(LoggingDeath, AssertFormatsPrintfDetail)
+{
+    int got = 41;
+    EXPECT_DEATH(
+        DEEPUM_ASSERT(got == 42, "expected %d, got %d (%s)", 42, got,
+                      "off by one"),
+        "expected 42, got 41 \\(off by one\\)");
+}
+
 TEST(EventQueue, ClearResetsClockAndSequence)
 {
     EventQueue eq;

@@ -1,0 +1,375 @@
+#!/usr/bin/env python3
+"""Determinism and UB-hazard lint for the simulator sources.
+
+The simulator's contract is bit-identical output for identical inputs
+(DESIGN.md "Determinism"). This lint catches the constructs that
+silently break it, plus the two cast families that hide undefined
+behaviour:
+
+  unordered-iter    range-for over a std::unordered_map/unordered_set
+                    (iteration order is hash-seed/ABI dependent; any
+                    output, stats, or trace derived from it diverges
+                    between runs or toolchains)
+  nondet-source     std::random_device, rand()/srand(), or wall-clock
+                    reads outside sim/rng.hh (all randomness must flow
+                    through the seeded RNG; all time through the DES
+                    clock)
+  ptr-key           ordered containers keyed by pointer without a
+                    custom comparator, and unordered containers keyed
+                    by pointer (allocation addresses vary run to run,
+                    so iteration order does too)
+  const-cast        const_cast<...> (UB when the object is const)
+  reinterpret-cast  reinterpret_cast<...> (type punning hazard)
+
+Suppressions, in decreasing preference:
+  * a `det-ok(<rule>): <reason>` comment on the flagged line or the
+    line directly above it;
+  * an entry in tools/lint_allowlist.txt of the form
+    `<rule> <path-suffix> <substring>` (matched against the flagged
+    line's text).
+
+Usage: lint_determinism.py [--allowlist FILE] [paths...]
+Default path is `src`. Exits 1 when findings remain.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+RULES = (
+    "unordered-iter",
+    "nondet-source",
+    "ptr-key",
+    "const-cast",
+    "reinterpret-cast",
+)
+
+SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
+
+# Files allowed to touch nondeterminism sources (the seeded RNG shim).
+NONDET_EXEMPT_SUFFIXES = ("sim/rng.hh", "sim/rng.cc")
+
+NONDET_PATTERNS = [
+    (re.compile(r"\bstd\s*::\s*random_device\b"), "std::random_device"),
+    (re.compile(r"(?<![\w:])s?rand\s*\("), "rand()/srand()"),
+    (re.compile(r"\b(?:system|steady|high_resolution)_clock\b"),
+     "wall-clock read"),
+    (re.compile(r"(?<![\w:.])time\s*\(\s*(?:NULL|nullptr|0|&|\))"),
+     "time()"),
+    (re.compile(r"\bgettimeofday\s*\("), "gettimeofday()"),
+    (re.compile(r"\bclock_gettime\s*\("), "clock_gettime()"),
+]
+
+SUPPRESS_RE = re.compile(r"det-ok\(([a-z-]+)\)\s*:\s*\S")
+
+RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)", re.S)
+
+IDENT_RE = re.compile(r"[A-Za-z_]\w*")
+
+
+class Finding:
+    def __init__(self, path: Path, line: int, rule: str, msg: str,
+                 text: str):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.msg = msg
+        self.text = text
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.msg}"
+
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blank out comments and string/char literals, keeping offsets.
+
+    Every replaced character becomes a space (newlines survive), so
+    byte offsets and line numbers in the result match the original.
+    """
+    out = list(text)
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            while i < n and text[i] != "\n":
+                out[i] = " "
+                i += 1
+        elif c == "/" and nxt == "*":
+            out[i] = out[i + 1] = " "
+            i += 2
+            while i < n and not (text[i] == "*" and i + 1 < n and
+                                 text[i + 1] == "/"):
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            if i < n:
+                out[i] = " "
+                if i + 1 < n:
+                    out[i + 1] = " "
+                i += 2
+        elif c == '"' or c == "'":
+            quote = c
+            # Keep the quotes so adjacent tokens stay separated.
+            i += 1
+            while i < n and text[i] != quote:
+                if text[i] == "\\":
+                    out[i] = " "
+                    i += 1
+                    if i < n and text[i] != "\n":
+                        out[i] = " "
+                        i += 1
+                    continue
+                if text[i] != "\n":
+                    out[i] = " "
+                i += 1
+            i += 1
+        else:
+            i += 1
+    return "".join(out)
+
+
+def line_of(text: str, offset: int) -> int:
+    return text.count("\n", 0, offset) + 1
+
+
+def matching_angle(text: str, open_idx: int) -> int:
+    """Index of the `>` closing the `<` at open_idx, or -1."""
+    depth = 0
+    i = open_idx
+    n = len(text)
+    while i < n:
+        c = text[i]
+        if c == "<":
+            depth += 1
+        elif c == ">":
+            depth -= 1
+            if depth == 0:
+                return i
+        elif c in ";{}":
+            return -1
+        i += 1
+    return -1
+
+
+UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
+
+
+def unordered_declared_names(text: str) -> set[str]:
+    """Identifiers declared with an unordered container type."""
+    names: set[str] = set()
+    for m in UNORDERED_DECL_RE.finditer(text):
+        open_idx = text.index("<", m.end() - 1)
+        close = matching_angle(text, open_idx)
+        if close < 0:
+            continue
+        after = text[close + 1:close + 200]
+        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:[;{=,)]|$)", after)
+        if dm:
+            names.add(dm.group(1))
+    return names
+
+
+def split_template_args(args: str) -> list[str]:
+    parts: list[str] = []
+    depth = 0
+    cur = []
+    for c in args:
+        if c == "<" or c == "(":
+            depth += 1
+        elif c == ">" or c == ")":
+            depth -= 1
+        if c == "," and depth == 0:
+            parts.append("".join(cur).strip())
+            cur = []
+        else:
+            cur.append(c)
+    tail = "".join(cur).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+ORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
+
+
+def check_ptr_keys(path: Path, text: str, findings: list[Finding],
+                   raw_lines: list[str]) -> None:
+    for m in ORDERED_DECL_RE.finditer(text):
+        kind = m.group(1)
+        open_idx = text.index("<", m.end() - 1)
+        close = matching_angle(text, open_idx)
+        if close < 0:
+            continue
+        args = split_template_args(text[open_idx + 1:close])
+        if not args or not args[0].rstrip().endswith("*"):
+            continue
+        # A custom comparator makes pointer keys deterministic iff it
+        # orders by something stable; give it the benefit of the
+        # doubt (the allocator's size+address comparator is audited).
+        expected = 2 if kind in ("map", "multimap") else 1
+        if len(args) > expected:
+            continue
+        ln = line_of(text, m.start())
+        findings.append(Finding(
+            path, ln, "ptr-key",
+            f"std::{kind} keyed by pointer with the default "
+            "comparator iterates in address order, which varies "
+            "run to run", raw_lines[ln - 1]))
+    for m in UNORDERED_DECL_RE.finditer(text):
+        open_idx = text.index("<", m.end() - 1)
+        close = matching_angle(text, open_idx)
+        if close < 0:
+            continue
+        args = split_template_args(text[open_idx + 1:close])
+        if not args or not args[0].rstrip().endswith("*"):
+            continue
+        ln = line_of(text, m.start())
+        findings.append(Finding(
+            path, ln, "ptr-key",
+            "unordered container keyed by pointer hashes addresses, "
+            "which vary run to run", raw_lines[ln - 1]))
+
+
+def check_file(path: Path, decl_extra: str | None) -> list[Finding]:
+    raw = path.read_text(encoding="utf-8", errors="replace")
+    raw_lines = raw.split("\n")
+    text = strip_comments_and_strings(raw)
+    findings: list[Finding] = []
+
+    # Names declared as unordered containers in this TU: the file
+    # itself plus its same-stem header (members used from the .cc).
+    decl_text = text
+    if decl_extra is not None:
+        decl_text = text + "\n" + decl_extra
+    unordered_names = unordered_declared_names(decl_text)
+
+    # unordered-iter: range-for whose range expression names one.
+    for m in RANGE_FOR_RE.finditer(text):
+        range_expr = m.group(2)
+        hits = [t for t in IDENT_RE.findall(range_expr)
+                if t in unordered_names]
+        if not hits:
+            continue
+        ln = line_of(text, m.start())
+        findings.append(Finding(
+            path, ln, "unordered-iter",
+            f"iteration over unordered container '{hits[0]}' has "
+            "hash-dependent order; sort first or switch containers",
+            raw_lines[ln - 1]))
+
+    # nondet-source.
+    posix = path.as_posix()
+    if not any(posix.endswith(s) for s in NONDET_EXEMPT_SUFFIXES):
+        for pat, what in NONDET_PATTERNS:
+            for m in pat.finditer(text):
+                ln = line_of(text, m.start())
+                findings.append(Finding(
+                    path, ln, "nondet-source",
+                    f"{what}: randomness must come from sim/rng.hh, "
+                    "time from the event queue", raw_lines[ln - 1]))
+
+    check_ptr_keys(path, text, findings, raw_lines)
+
+    for cast, rule in (("const_cast", "const-cast"),
+                       ("reinterpret_cast", "reinterpret-cast")):
+        for m in re.finditer(rf"\b{cast}\s*<", text):
+            ln = line_of(text, m.start())
+            findings.append(Finding(
+                path, ln, rule,
+                f"{cast} needs a det-ok justification or an "
+                "allowlist entry", raw_lines[ln - 1]))
+
+    # Apply inline suppressions (taken from the *raw* text: they live
+    # in comments).
+    suppressed: dict[int, set[str]] = {}
+    for i, line in enumerate(raw_lines, start=1):
+        for sm in SUPPRESS_RE.finditer(line):
+            rule = sm.group(1)
+            suppressed.setdefault(i, set()).add(rule)
+            suppressed.setdefault(i + 1, set()).add(rule)
+
+    kept = []
+    for f in findings:
+        if f.rule in suppressed.get(f.line, ()):  # inline det-ok
+            continue
+        kept.append(f)
+    return kept
+
+
+def load_allowlist(path: Path) -> list[tuple[str, str, str]]:
+    entries: list[tuple[str, str, str]] = []
+    if not path.exists():
+        return entries
+    for ln, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split(None, 2)
+        if len(parts) != 3 or parts[0] not in RULES:
+            print(f"{path}:{ln}: malformed allowlist entry",
+                  file=sys.stderr)
+            sys.exit(2)
+        entries.append((parts[0], parts[1], parts[2]))
+    return entries
+
+
+def allowlisted(f: Finding,
+                entries: list[tuple[str, str, str]]) -> bool:
+    posix = f.path.as_posix()
+    for rule, suffix, needle in entries:
+        if rule == f.rule and posix.endswith(suffix) and \
+                needle in f.text:
+            return True
+    return False
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("paths", nargs="*", default=["src"])
+    ap.add_argument("--allowlist",
+                    default=str(Path(__file__).parent /
+                                "lint_allowlist.txt"))
+    args = ap.parse_args()
+
+    entries = load_allowlist(Path(args.allowlist))
+
+    files: list[Path] = []
+    for p in args.paths or ["src"]:
+        root = Path(p)
+        if root.is_file():
+            files.append(root)
+        else:
+            files.extend(sorted(
+                f for f in root.rglob("*")
+                if f.suffix in SOURCE_SUFFIXES and f.is_file()))
+
+    all_findings: list[Finding] = []
+    for f in files:
+        decl_extra = None
+        if f.suffix in (".cc", ".cpp", ".cxx"):
+            for hs in (".hh", ".hpp", ".h"):
+                header = f.with_suffix(hs)
+                if header.exists():
+                    decl_extra = strip_comments_and_strings(
+                        header.read_text(encoding="utf-8",
+                                         errors="replace"))
+                    break
+        all_findings.extend(check_file(f, decl_extra))
+
+    remaining = [f for f in all_findings if not allowlisted(f, entries)]
+    for f in remaining:
+        print(f)
+    if remaining:
+        print(f"\n{len(remaining)} finding(s). Suppress with a "
+              "`det-ok(<rule>): <reason>` comment or an allowlist "
+              "entry.", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
