@@ -6,6 +6,8 @@
  * model/batch cell of the paper's grid, from one set of runs.
  */
 
+#include <cmath>
+#include <fstream>
 #include <iostream>
 #include <optional>
 
@@ -22,6 +24,17 @@ struct Row {
     baselines::SwapResult lms, lmsmod;
 };
 
+/** "1.2345" or "null" for a non-finite/absent value. */
+std::string
+jnum(double v, bool ok = true)
+{
+    if (!ok || !std::isfinite(v))
+        return "null";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", v);
+    return buf;
+}
+
 } // namespace
 
 int
@@ -30,7 +43,35 @@ main(int argc, char **argv)
     auto cfg = defaultConfig();
     auto scfg = swapConfig(cfg);
 
-    harness::ParallelRunner pool(jobsFromArgs(argc, argv));
+    // Flags: the shared --jobs plus --json <path> (machine-readable
+    // per-cell output mirroring sim_throughput's --out).
+    unsigned jobs = 1;
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--jobs" && i + 1 < argc) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(argv[++i], nullptr, 10));
+            if (jobs == 0)
+                jobs = std::max(
+                    1u, std::thread::hardware_concurrency());
+        } else if (a.rfind("--jobs=", 0) == 0) {
+            jobs = static_cast<unsigned>(
+                std::strtoul(a.c_str() + 7, nullptr, 10));
+            if (jobs == 0)
+                jobs = std::max(
+                    1u, std::thread::hardware_concurrency());
+        } else if (a == "--json" && i + 1 < argc) {
+            json_path = argv[++i];
+        } else {
+            std::fprintf(stderr,
+                         "usage: %s [--jobs N] [--json file.json]\n",
+                         argv[0]);
+            return 2;
+        }
+    }
+
+    harness::ParallelRunner pool(jobs);
     std::vector<Row> rows =
         mapCells<Row>(pool, fig9Grid(), [&](const Cell &c) {
             torch::Tape tape = models::buildModel(c.model, c.batch);
@@ -137,6 +178,80 @@ main(int argc, char **argv)
                harness::fmtDouble(harness::geomean(g_mod)),
                harness::fmtDouble(harness::geomean(g_dum))});
         t.print(std::cout);
+    }
+
+    if (!json_path.empty()) {
+        std::ofstream os(json_path, std::ios::binary);
+        if (!os) {
+            std::fprintf(stderr,
+                         "fig09: cannot open --json file '%s'\n",
+                         json_path.c_str());
+            return 1;
+        }
+        std::vector<double> g_lms, g_mod, g_dum, g_ideal;
+        std::vector<double> ge_lms, ge_mod, ge_dum;
+        os << "{\n  \"cells\": [\n";
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const Row &r = rows[i];
+            double s_lms = r.lms.ok
+                               ? speedup(r.um, r.lms.secPer100Iters)
+                               : 0;
+            double s_mod =
+                r.lmsmod.ok ? speedup(r.um, r.lmsmod.secPer100Iters)
+                            : 0;
+            double s_dum = speedup(r.um, r.dum.secPer100Iters);
+            double s_idl = speedup(r.um, r.ideal.secPer100Iters);
+            double e_lms = r.lms.energyJPerIter / r.um.energyJPerIter;
+            double e_mod =
+                r.lmsmod.energyJPerIter / r.um.energyJPerIter;
+            double e_dum = r.dum.energyJPerIter / r.um.energyJPerIter;
+            if (r.lms.ok) {
+                g_lms.push_back(s_lms);
+                ge_lms.push_back(e_lms);
+            }
+            if (r.lmsmod.ok) {
+                g_mod.push_back(s_mod);
+                ge_mod.push_back(e_mod);
+            }
+            g_dum.push_back(s_dum);
+            g_ideal.push_back(s_idl);
+            ge_dum.push_back(e_dum);
+            os << "    {\"label\": \"" << r.label << "\",\n"
+               << "     \"secPer100Iters\": {\"um\": "
+               << jnum(r.um.secPer100Iters) << ", \"lms\": "
+               << jnum(r.lms.secPer100Iters, r.lms.ok)
+               << ", \"lmsMod\": "
+               << jnum(r.lmsmod.secPer100Iters, r.lmsmod.ok)
+               << ", \"deepum\": " << jnum(r.dum.secPer100Iters)
+               << ", \"ideal\": " << jnum(r.ideal.secPer100Iters)
+               << "},\n"
+               << "     \"speedupOverUm\": {\"lms\": "
+               << jnum(s_lms, r.lms.ok) << ", \"lmsMod\": "
+               << jnum(s_mod, r.lmsmod.ok) << ", \"deepum\": "
+               << jnum(s_dum) << ", \"ideal\": " << jnum(s_idl)
+               << "},\n"
+               << "     \"energyRatioOverUm\": {\"lms\": "
+               << jnum(e_lms, r.lms.ok) << ", \"lmsMod\": "
+               << jnum(e_mod, r.lmsmod.ok) << ", \"deepum\": "
+               << jnum(e_dum) << "}}"
+               << (i + 1 < rows.size() ? "," : "") << "\n";
+        }
+        os << "  ],\n"
+           << "  \"gmeanSpeedup\": {\"lms\": "
+           << jnum(harness::geomean(g_lms), !g_lms.empty())
+           << ", \"lmsMod\": "
+           << jnum(harness::geomean(g_mod), !g_mod.empty())
+           << ", \"deepum\": " << jnum(harness::geomean(g_dum))
+           << ", \"ideal\": " << jnum(harness::geomean(g_ideal))
+           << "},\n"
+           << "  \"gmeanEnergyRatio\": {\"lms\": "
+           << jnum(harness::geomean(ge_lms), !ge_lms.empty())
+           << ", \"lmsMod\": "
+           << jnum(harness::geomean(ge_mod), !ge_mod.empty())
+           << ", \"deepum\": " << jnum(harness::geomean(ge_dum))
+           << "}\n"
+           << "}\n";
+        std::cout << "\nwrote " << json_path << "\n";
     }
     return 0;
 }

@@ -14,6 +14,8 @@
  *          [--no-prefetch] [--no-preevict] [--no-invalidate]
  *          [--seed 12345] [--dump-stats]
  *          [--trace trace.json] [--stats-json stats.json]
+ *          [--ledger] [--report report.txt|-] [--thrash-window N]
+ *          [--timeseries series.csv] [--sample-interval N]
  *
  * A comma-separated `--batches 16,32,64` sweeps several batch sizes
  * in one invocation and prints one row per batch; `--jobs N` runs
@@ -25,6 +27,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <thread>
@@ -55,12 +58,24 @@ usage()
         "[--no-invalidate]\n"
         "              [--seed N] [--dump-stats] [--list-models]\n"
         "              [--trace <file>] [--stats-json <file>]\n"
+        "              [--ledger] [--report <file|->] "
+        "[--thrash-window N]\n"
+        "              [--timeseries <file>] [--sample-interval N]\n"
         "              [--batches N,N,...] [--jobs N]\n"
         "\n"
         "  --trace <file>       write a Chrome/Perfetto trace of the "
         "run\n"
         "  --stats-json <file>  write the full stat registry as "
         "JSON\n"
+        "  --ledger             attach the migration provenance "
+        "ledger\n"
+        "  --report <file|->    per-run accuracy report (implies "
+        "--ledger)\n"
+        "  --thrash-window N    re-fault window in ticks for thrash "
+        "classing\n"
+        "  --timeseries <file>  sampled series, CSV (or JSON by "
+        "extension)\n"
+        "  --sample-interval N  ticks between time-series samples\n"
         "  --batches N,N,...    sweep several batch sizes, one row "
         "each\n"
         "  --jobs N             threads for the sweep (0 = one per "
@@ -98,6 +113,26 @@ numArg(int argc, char **argv, int &i)
     return v;
 }
 
+/**
+ * Fail fast on an unwritable output path, naming the flag — a typo'd
+ * directory should not surface as a warning after minutes of
+ * simulation. Probes by opening for append (creates the file when
+ * missing, never truncates existing content). "-" and "" are skipped.
+ */
+void
+requireWritable(const char *flag, const std::string &path)
+{
+    if (path.empty() || path == "-")
+        return;
+    std::ofstream probe(path, std::ios::binary | std::ios::app);
+    if (!probe) {
+        std::fprintf(stderr,
+                     "simctl: cannot open %s file '%s' for writing\n",
+                     flag, path.c_str());
+        std::exit(1);
+    }
+}
+
 } // namespace
 
 int
@@ -109,6 +144,7 @@ main(int argc, char **argv)
     unsigned jobs = 1;
     std::string system = "deepum";
     bool dump_stats = false;
+    std::string report_path;
     harness::ExperimentConfig cfg;
 
     for (int i = 1; i < argc; ++i) {
@@ -178,6 +214,19 @@ main(int argc, char **argv)
             cfg.traceFile = strArg(argc, argv, i);
         } else if (a == "--stats-json") {
             cfg.statsJsonFile = strArg(argc, argv, i);
+        } else if (a == "--ledger") {
+            cfg.ledger = true;
+        } else if (a == "--report") {
+            report_path = strArg(argc, argv, i);
+            cfg.ledger = true;
+        } else if (a == "--thrash-window") {
+            cfg.thrashWindowTicks = numArg(argc, argv, i);
+        } else if (a == "--timeseries") {
+            cfg.timeseriesFile = strArg(argc, argv, i);
+        } else if (a == "--sample-interval") {
+            cfg.timeseriesInterval = numArg(argc, argv, i);
+            if (cfg.timeseriesInterval == 0)
+                sim::fatal("--sample-interval must be positive");
         } else if (a == "--list-models") {
             for (const auto &m : models::modelNames())
                 std::printf("%s\n", m.c_str());
@@ -207,10 +256,19 @@ main(int argc, char **argv)
     if (cfg.warmup >= cfg.iterations)
         sim::fatal("--warmup must be smaller than --iters");
 
+    // Validate every output path before simulating anything: a typo
+    // must fail in milliseconds, naming the flag, not minutes later.
+    requireWritable("--trace", cfg.traceFile);
+    requireWritable("--stats-json", cfg.statsJsonFile);
+    requireWritable("--report", report_path);
+    requireWritable("--timeseries", cfg.timeseriesFile);
+
     if (!batches.empty()) {
-        if (!cfg.traceFile.empty() || !cfg.statsJsonFile.empty())
-            sim::fatal("--trace/--stats-json write one file per run; "
-                       "not supported with --batches");
+        if (!cfg.traceFile.empty() || !cfg.statsJsonFile.empty() ||
+            !report_path.empty() || !cfg.timeseriesFile.empty())
+            sim::fatal("--trace/--stats-json/--report/--timeseries "
+                       "write one file per run; not supported with "
+                       "--batches");
         std::printf("%s system=%s gpu=%s jobs=%u\n", model.c_str(),
                     harness::systemName(kind),
                     harness::fmtMiB(cfg.gpuMemBytes).c_str(), jobs);
@@ -252,6 +310,22 @@ main(int argc, char **argv)
                 harness::fmtMiB(cfg.gpuMemBytes).c_str());
 
     harness::RunResult r = harness::runExperiment(tape, kind, cfg);
+
+    if (!report_path.empty()) {
+        std::string title = model + "/" +
+                            harness::fmtBatch(batch) + " " +
+                            harness::systemName(kind);
+        if (report_path == "-") {
+            harness::printRunReport(std::cout, title, r);
+        } else {
+            std::ofstream os(report_path, std::ios::binary);
+            if (!os)
+                sim::fatal("cannot open --report file '%s'",
+                           report_path.c_str());
+            harness::printRunReport(os, title, r);
+        }
+    }
+
     if (!r.ok) {
         std::printf("result: OUT OF MEMORY\n");
         return 1;

@@ -90,7 +90,8 @@ void
 Prefetcher::issue(std::size_t slot, mem::BlockId b)
 {
     protect(slot, b);
-    drv_.enqueuePrefetch(b, slots_[slot].exec);
+    drv_.enqueuePrefetch(b, slots_[slot].exec,
+                         static_cast<std::uint32_t>(slot));
     ++blocksIssued_;
     if (budget_ > 0)
         --budget_;

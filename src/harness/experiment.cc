@@ -1,5 +1,6 @@
 #include "harness/experiment.hh"
 
+#include <algorithm>
 #include <fstream>
 #include <memory>
 
@@ -16,6 +17,7 @@
 #include "sim/event_queue.hh"
 #include "sim/logging.hh"
 #include "sim/stats.hh"
+#include "sim/timeseries.hh"
 #include "sim/trace.hh"
 #include "sim/validate.hh"
 #include "torch/allocator.hh"
@@ -100,6 +102,52 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
         deepum = std::make_unique<core::DeepUm>(driver, cfg.deepum,
                                                 stats);
 
+    // The provenance ledger is opt-in like the tracer: with it off,
+    // no `ledger.*` stat exists and no driver hook fires, so runs
+    // stay bit-identical to a build without the feature.
+    std::unique_ptr<uvm::ProvenanceLedger> ledger;
+    if (cfg.ledger) {
+        ledger = std::make_unique<uvm::ProvenanceLedger>(
+            stats, cfg.thrashWindowTicks);
+        ledger->attachDriver(&driver);
+        driver.setLedger(ledger.get());
+    }
+
+    // Same for the time-series sampler; its events only read state,
+    // so an enabled sampler still leaves the simulation unchanged.
+    std::unique_ptr<sim::TimeSeriesSampler> sampler;
+    if (!cfg.timeseriesFile.empty()) {
+        sampler = std::make_unique<sim::TimeSeriesSampler>(
+            eq, cfg.timeseriesInterval);
+        sampler->addSeries("frames.usedPages", [&frames] {
+            return frames.usedPages();
+        });
+        sampler->addSeries("faultQueue.depth", [&driver] {
+            return static_cast<std::uint64_t>(
+                driver.faultQueueDepth());
+        });
+        sampler->addSeries("prefetchQueue.depth", [&driver] {
+            return static_cast<std::uint64_t>(
+                driver.prefetchQueueDepth());
+        });
+        sampler->addSeries(
+            "pcie.utilPct",
+            [&link, &eq, last_tick = sim::Tick(0),
+             last_busy = sim::Tick(0)]() mutable -> std::uint64_t {
+                sim::Tick now = eq.now();
+                sim::Tick busy = link.busyTicks();
+                sim::Tick dt = now - last_tick;
+                // busyTicks() accrues at acquire time, ahead of the
+                // wall clock, so one window can exceed 100%.
+                sim::Tick db = busy - last_busy;
+                last_tick = now;
+                last_busy = busy;
+                if (dt == 0)
+                    return 0;
+                return std::min<std::uint64_t>(100, db * 100 / dt);
+            });
+    }
+
 #ifdef DEEPUM_VALIDATE
     // DEEPUM_VALIDATE builds re-audit the whole stack after every
     // fault batch and kernel retirement; registration order fixes the
@@ -109,6 +157,10 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
     validator.add("mem.frames", frames);
     validator.add("mem.va", va);
     validator.add("uvm.driver", driver);
+    if (ledger != nullptr)
+        validator.add("uvm.ledger", *ledger);
+    if (sampler != nullptr)
+        validator.add("sim.timeseries", *sampler);
     if (deepum != nullptr)
         validator.add("core.deepum", *deepum);
     driver.setValidator(&validator);
@@ -123,7 +175,14 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
     Session session(eq, runtime, alloc, stats, link, tape,
                     cfg.iterations, cfg.seed,
                     /*manual_prefetch=*/kind == SystemKind::OcDnn);
+    if (sampler != nullptr)
+        sampler->start();
     bool ok = session.run();
+
+    // Close the ledger's books before the final audit so the
+    // useful + late + wasted == arrivals reconciliation holds.
+    if (ledger != nullptr)
+        ledger->finalize();
 
 #ifdef DEEPUM_VALIDATE
     // One final audit of the quiesced stack, then export the counts
@@ -143,6 +202,19 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
     if (!cfg.statsJsonFile.empty())
         writeFileOrWarn(cfg.statsJsonFile, "stats JSON",
                         [&](std::ostream &os) { stats.dumpJson(os); });
+    if (sampler != nullptr) {
+        bool json = cfg.timeseriesFile.size() >= 5 &&
+                    cfg.timeseriesFile.compare(
+                        cfg.timeseriesFile.size() - 5, 5,
+                        ".json") == 0;
+        writeFileOrWarn(cfg.timeseriesFile, "time series",
+                        [&](std::ostream &os) {
+                            if (json)
+                                sampler->writeJson(os);
+                            else
+                                sampler->writeCsv(os);
+                        });
+    }
 
     RunResult r;
     r.ok = ok;
@@ -181,6 +253,8 @@ runExperiment(const torch::Tape &tape, SystemKind kind,
 
     if (deepum != nullptr)
         r.tableBytes = deepum->tableBytes();
+    if (ledger != nullptr)
+        r.ledger = ledger->summary(cfg.ledgerHotBlocks);
 
     // all()/allDists() are sorted, so hinting at end() makes every
     // map insertion O(1).

@@ -19,6 +19,7 @@
 #include "harness/energy.hh"
 #include "sim/types.hh"
 #include "torch/tape.hh"
+#include "uvm/provenance.hh"
 
 namespace deepum::harness {
 
@@ -55,6 +56,32 @@ struct ExperimentConfig {
 
     /** Write the full stat registry as JSON to this path (empty = off). */
     std::string statsJsonFile;
+
+    /**
+     * Attach the migration provenance ledger (uvm/provenance.hh):
+     * per-block arrival/departure causes, prefetch useful/late/
+     * wasted and eviction clean/thrash classification, exported as
+     * `ledger.*` stats and RunResult::ledger. Off by default — with
+     * it off no ledger exists and runs are bit-identical to a build
+     * without the feature.
+     */
+    bool ledger = false;
+
+    /** Re-fault within this window classifies an eviction as thrash. */
+    sim::Tick thrashWindowTicks = 1'000'000;
+
+    /** Rows kept in the ledger's hot-block table. */
+    std::size_t ledgerHotBlocks = 10;
+
+    /**
+     * Write sampled time series (resident frames, queue depths, PCIe
+     * utilization) to this path — CSV, or JSON when the path ends in
+     * ".json" (empty = sampler off, the zero-cost default).
+     */
+    std::string timeseriesFile;
+
+    /** Ticks between time-series samples. */
+    sim::Tick timeseriesInterval = 100'000;
 };
 
 /** Reduced view of one Distribution stat at end of run. */
@@ -83,6 +110,9 @@ struct RunResult {
     sim::Tick computeTicksPerIter = 0;
 
     std::uint64_t tableBytes = 0; ///< DeepUM correlation tables
+
+    /** Provenance-ledger summary (enabled == false when off). */
+    uvm::LedgerSummary ledger;
 
     /** Full end-of-run counter dump for tests and debugging. */
     std::map<std::string, std::uint64_t> stats;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "harness/experiment.hh"
 #include "sim/logging.hh"
 #include "sim/types.hh"
 
@@ -106,6 +107,101 @@ fmtBatch(std::uint64_t batch)
                       static_cast<unsigned long long>(batch));
     }
     return buf;
+}
+
+namespace {
+
+/** "1.234 ms" from a tick (= nanosecond) count. */
+std::string
+fmtTicksMs(double ticks)
+{
+    return fmtDouble(ticks / 1e6, 3) + " ms";
+}
+
+/** Percentage with one decimal. */
+std::string
+fmtPct(double ratio)
+{
+    return fmtDouble(ratio * 100.0, 1) + "%";
+}
+
+} // namespace
+
+void
+printRunReport(std::ostream &os, const std::string &title,
+               const RunResult &r)
+{
+    os << "== run report: " << title << " ==\n";
+    if (!r.ok) {
+        os << "result: OUT OF MEMORY\n";
+        return;
+    }
+    auto stat = [&](const char *name) -> std::uint64_t {
+        auto it = r.stats.find(name);
+        return it == r.stats.end() ? 0 : it->second;
+    };
+
+    os << "perf:      " << fmtDouble(r.secPer100Iters)
+       << " s/100iter, " << fmtDouble(r.pageFaultsPerIter, 0)
+       << " faults/iter, "
+       << fmtDouble(static_cast<double>(r.bytesHtoDPerIter) /
+                        static_cast<double>(sim::kMiB), 1)
+       << " MiB HtoD/iter, "
+       << fmtDouble(static_cast<double>(r.bytesDtoHPerIter) /
+                        static_cast<double>(sim::kMiB), 1)
+       << " MiB DtoH/iter, " << fmtDouble(r.energyJPerIter, 1)
+       << " J/iter\n";
+    os << "migration: " << stat("uvm.migratedBlocks")
+       << " blocks in, " << stat("uvm.evictedBlocks")
+       << " blocks out, " << stat("uvm.invalidatedBlocks")
+       << " invalidated, " << stat("uvm.zeroFillBlocks")
+       << " zero-filled\n";
+    os << "prefetch:  " << stat("uvm.prefetchIssued") << " issued, "
+       << stat("uvm.prefetchCompleted") << " completed, "
+       << stat("uvm.prefetchDropped") << " dropped\n";
+
+    const uvm::LedgerSummary &l = r.ledger;
+    if (!l.enabled) {
+        os << "(provenance ledger off — rerun with the ledger "
+              "enabled for accuracy metrics)\n";
+        return;
+    }
+
+    os << "\nprefetch accuracy (ledger)\n";
+    std::uint64_t classified =
+        l.prefetchUseful + l.prefetchLate + l.prefetchWasted;
+    os << "  arrivals:  " << l.arrivalsPrefetch << " prefetch, "
+       << l.arrivalsDemand << " demand\n";
+    os << "  outcomes:  " << l.prefetchUseful << " useful, "
+       << l.prefetchLate << " late, " << l.prefetchWasted
+       << " wasted (" << classified << " classified)\n";
+    os << "  precision: " << fmtPct(l.prefetchPrecision)
+       << "   coverage: " << fmtPct(l.prefetchCoverage)
+       << "   mean useful lead: "
+       << fmtTicksMs(l.meanUsefulLeadTicks) << "\n";
+
+    os << "\neviction quality (ledger)\n";
+    os << "  departures: " << l.departDemandEvict << " demand, "
+       << l.departPreEvict << " pre-evict, " << l.departInvalidate
+       << " invalidated, " << l.departRangeFree << " freed\n";
+    os << "  outcomes:   " << l.evictClean << " clean, "
+       << l.evictThrash << " thrash (rate " << fmtPct(l.thrashRate)
+       << ", window " << fmtTicksMs(
+              static_cast<double>(l.thrashWindow)) << ")\n";
+
+    if (!l.hot.empty()) {
+        os << "\nhot blocks (most migrated first)\n";
+        TextTable t({"block", "demand-in", "prefetch-in", "evicted",
+                     "thrash"});
+        for (const auto &h : l.hot) {
+            t.row({std::to_string(h.block),
+                   std::to_string(h.demandArrivals),
+                   std::to_string(h.prefetchArrivals),
+                   std::to_string(h.evictions),
+                   std::to_string(h.thrashFaults)});
+        }
+        t.print(os);
+    }
 }
 
 double

@@ -13,6 +13,8 @@
 
 namespace deepum::harness {
 
+struct RunResult;
+
 /** Right-aligned fixed-width text table. */
 class TextTable
 {
@@ -44,5 +46,15 @@ std::string fmtBatch(std::uint64_t batch);
 
 /** Geometric mean of positive values (0 if empty). */
 double geomean(const std::vector<double> &values);
+
+/**
+ * Human-readable per-run summary: performance, migration and
+ * eviction counters, and — when the run carried the provenance
+ * ledger — the prefetch-accuracy section (useful/late/wasted,
+ * precision, coverage, mean useful lead time), eviction quality
+ * (clean/thrash) and the hot-block table. Deterministic output.
+ */
+void printRunReport(std::ostream &os, const std::string &title,
+                    const RunResult &r);
 
 } // namespace deepum::harness

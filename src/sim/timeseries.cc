@@ -1,0 +1,138 @@
+#include "sim/timeseries.hh"
+
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/validate.hh"
+
+namespace deepum::sim {
+
+TimeSeriesSampler::TimeSeriesSampler(EventQueue &eq, Tick interval,
+                                     std::size_t max_samples)
+    : eq_(eq), interval_(interval), maxSamples_(max_samples)
+{
+    DEEPUM_ASSERT(interval_ > 0, "sampler interval must be positive");
+    DEEPUM_ASSERT(maxSamples_ >= 2,
+                  "sampler cap must leave room to decimate");
+}
+
+void
+TimeSeriesSampler::addSeries(std::string name,
+                             std::function<std::uint64_t()> probe)
+{
+    DEEPUM_ASSERT(!started_, "addSeries after start");
+    DEEPUM_ASSERT(probe != nullptr, "null probe");
+    series_.push_back(Series{std::move(name), std::move(probe), {}});
+}
+
+void
+TimeSeriesSampler::start()
+{
+    DEEPUM_ASSERT(!started_, "sampler started twice");
+    started_ = true;
+    takeSample();
+    eq_.scheduleIn(interval_, [this] { fire(); });
+}
+
+void
+TimeSeriesSampler::fire()
+{
+    takeSample();
+    // The sampler's own event has already been popped, so zero
+    // pending events means the simulation proper has drained; stop
+    // rescheduling or the run would never end.
+    if (eq_.pending() == 0)
+        return;
+    eq_.scheduleIn(interval_, [this] { fire(); });
+}
+
+void
+TimeSeriesSampler::takeSample()
+{
+    ticks_.push_back(eq_.now());
+    for (Series &s : series_)
+        s.values.push_back(s.probe());
+    if (ticks_.size() >= maxSamples_)
+        decimate();
+}
+
+void
+TimeSeriesSampler::decimate()
+{
+    auto halve = [](auto &v) {
+        std::size_t out = 0;
+        for (std::size_t i = 0; i < v.size(); i += 2)
+            v[out++] = v[i];
+        v.resize(out);
+    };
+    halve(ticks_);
+    for (Series &s : series_)
+        halve(s.values);
+    interval_ *= 2;
+}
+
+void
+TimeSeriesSampler::writeCsv(std::ostream &os) const
+{
+    os << "tick";
+    for (const Series &s : series_)
+        os << ',' << s.name;
+    os << '\n';
+    for (std::size_t i = 0; i < ticks_.size(); ++i) {
+        os << ticks_[i];
+        for (const Series &s : series_)
+            os << ',' << s.values[i];
+        os << '\n';
+    }
+}
+
+void
+TimeSeriesSampler::writeJson(std::ostream &os) const
+{
+    os << "{\n  \"interval\": " << interval_ << ",\n  \"ticks\": [";
+    for (std::size_t i = 0; i < ticks_.size(); ++i)
+        os << (i != 0 ? "," : "") << ticks_[i];
+    os << "],\n  \"series\": {";
+    for (std::size_t j = 0; j < series_.size(); ++j) {
+        const Series &s = series_[j];
+        os << (j != 0 ? ",\n    " : "\n    ") << '"' << s.name
+           << "\": [";
+        for (std::size_t i = 0; i < s.values.size(); ++i)
+            os << (i != 0 ? "," : "") << s.values[i];
+        os << ']';
+    }
+    os << "\n  }\n}\n";
+}
+
+void
+TimeSeriesSampler::checkInvariants(CheckContext &ctx) const
+{
+    ctx.require(interval_ > 0, "sampler interval is zero");
+    ctx.require(ticks_.size() < maxSamples_,
+                "sample buffer holds %zu rows at cap %zu "
+                "(decimation missed)",
+                ticks_.size(), maxSamples_);
+    for (const Series &s : series_)
+        ctx.require(s.values.size() == ticks_.size(),
+                    "series '%s' holds %zu samples, tick column "
+                    "holds %zu",
+                    s.name.c_str(), s.values.size(), ticks_.size());
+    for (std::size_t i = 1; i < ticks_.size(); ++i)
+        ctx.require(ticks_[i] > ticks_[i - 1],
+                    "sample ticks not strictly increasing at row %zu",
+                    i);
+}
+
+void
+TimeSeriesSampler::dumpState(std::ostream &os) const
+{
+    os << "TimeSeriesSampler{interval=" << interval_
+       << " samples=" << ticks_.size() << "/" << maxSamples_
+       << " series=" << series_.size() << " started=" << started_
+       << "}\n";
+    for (const Series &s : series_)
+        os << "  " << s.name << ": " << s.values.size()
+           << " samples\n";
+}
+
+} // namespace deepum::sim

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Periodic time-series sampler.
+ *
+ * Snapshots a set of named probes (resident frames, queue depths,
+ * PCIe utilization, ...) at a fixed tick interval into fixed-width
+ * series, for paper-style occupancy-over-time figures straight out
+ * of a run. Export is deterministic CSV or JSON.
+ *
+ * The sampler rides the event queue like any component, but its
+ * events only *read* simulator state — they never mutate it — so
+ * enabling sampling does not change simulation results. Like the
+ * tracer and the provenance ledger it is opt-in: no sampler object,
+ * no events, no cost.
+ *
+ * Memory is bounded: when the sample buffer hits its cap, every
+ * other sample is dropped and the interval doubles (each row keeps
+ * its own tick, so exports stay truthful after decimation).
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "sim/types.hh"
+
+namespace deepum::sim {
+
+class CheckContext;
+
+/** Fixed-interval sampler of named uint64 probes. */
+class TimeSeriesSampler
+{
+  public:
+    /**
+     * @param eq the event queue to ride
+     * @param interval ticks between samples (> 0)
+     * @param max_samples decimation cap on buffered rows (>= 2)
+     */
+    TimeSeriesSampler(EventQueue &eq, Tick interval,
+                      std::size_t max_samples = 4096);
+
+    TimeSeriesSampler(const TimeSeriesSampler &) = delete;
+    TimeSeriesSampler &operator=(const TimeSeriesSampler &) = delete;
+
+    /**
+     * Register a probe before start(). Column order in exports is
+     * registration order. The probe must only read simulator state.
+     */
+    void addSeries(std::string name,
+                   std::function<std::uint64_t()> probe);
+
+    /**
+     * Take the first sample now and self-reschedule every interval.
+     * Sampling stops by itself when the rest of the simulation has
+     * drained (no pending events besides the sampler's own).
+     */
+    void start();
+
+    std::size_t sampleCount() const { return ticks_.size(); }
+    std::size_t seriesCount() const { return series_.size(); }
+
+    /** Current interval (doubles on each decimation). */
+    Tick interval() const { return interval_; }
+
+    /** "tick,name1,name2,..." header plus one row per sample. */
+    void writeCsv(std::ostream &os) const;
+
+    /** {"interval":..,"ticks":[..],"series":{name:[..],..}}. */
+    void writeJson(std::ostream &os) const;
+
+    // --- validation (sim/validate.hh) -------------------------------
+
+    /** Audit rectangularity: every series is sampleCount() long. */
+    void checkInvariants(CheckContext &ctx) const;
+
+    /** Stream a summary (for violation dumps). */
+    void dumpState(std::ostream &os) const;
+
+  private:
+    void fire();
+    void takeSample();
+
+    /** Keep every other row and double the interval. */
+    void decimate();
+
+    struct Series {
+        std::string name;
+        std::function<std::uint64_t()> probe;
+        std::vector<std::uint64_t> values;
+    };
+
+    EventQueue &eq_;
+    Tick interval_;
+    std::size_t maxSamples_;
+    bool started_ = false;
+
+    std::vector<Tick> ticks_;
+    std::vector<Series> series_;
+};
+
+} // namespace deepum::sim

@@ -6,6 +6,7 @@
 #include "sim/logging.hh"
 #include "sim/trace.hh"
 #include "sim/validate.hh"
+#include "uvm/provenance.hh"
 
 #ifdef DEEPUM_VALIDATE
 #define DEEPUM_VALIDATE_HOOK(where)                                    \
@@ -125,6 +126,9 @@ Driver::unregisterRange(mem::VAddr va, std::uint64_t bytes)
         if (it == blocks_.end())
             sim::panic("unregisterRange: unknown block %llu",
                        static_cast<unsigned long long>(b));
+        if (ledger_ != nullptr)
+            ledger_->onBlockFreed(b, curTick(),
+                                  it->second.loc == Loc::Device);
         if (it->second.loc == Loc::Device) {
             frames_.release(it->second.pages);
             auto lp = lruPos_.find(b);
@@ -177,7 +181,8 @@ Driver::markInactiveRange(mem::VAddr va, std::uint64_t bytes,
 // --------------------------------------------------------------------
 
 bool
-Driver::enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id)
+Driver::enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id,
+                        std::uint32_t depth)
 {
     auto it = blocks_.find(block);
     if (it == blocks_.end())
@@ -185,7 +190,7 @@ Driver::enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id)
     BlockInfo &bi = it->second;
     if (bi.loc == Loc::Device || bi.queuedPrefetch || bi.queuedFault)
         return false;
-    if (!prefetchQueue_.push(MigrateCmd{block, exec_id}))
+    if (!prefetchQueue_.push(MigrateCmd{block, exec_id, depth}))
         return false;
     bi.queuedPrefetch = true;
     ++prefetchIssued_;
@@ -262,6 +267,8 @@ Driver::faultInterrupt()
 void
 Driver::onKernelBegin(const gpu::KernelInfo &k)
 {
+    if (ledger_ != nullptr)
+        ledger_->onKernelBegin(curTick());
     for (auto *l : listeners_)
         l->onKernelBegin(k);
 }
@@ -283,6 +290,8 @@ Driver::onBlockAccess(mem::BlockId block)
     if (it->second.prefetched) {
         it->second.prefetched = false;
         ++prefetchUseful_;
+        if (ledger_ != nullptr)
+            ledger_->onPrefetchTouched(block, curTick());
         for (auto *l : listeners_)
             l->onPrefetchUseful(block, it->second.prefetchExecId);
     }
@@ -343,6 +352,8 @@ Driver::handleFaults()
             BlockInfo &bi = it->second;
             if (bi.loc == Loc::Device)
                 continue; // a prefetch landed it meanwhile
+            if (ledger_ != nullptr)
+                ledger_->onDemandFault(b, curTick());
             outstanding_.insert(b);
             if (!bi.queuedFault) {
                 bool ok = faultQueue_.push(MigrateCmd{b, 0});
@@ -492,7 +503,9 @@ Driver::migrationStep()
 
         mem::BlockId b = cmd.block;
         std::uint32_t exec_id = cmd.execId;
-        eventq().schedule(t, [this, b, demand, htod, pages, exec_id] {
+        std::uint32_t depth = cmd.depth;
+        eventq().schedule(t, [this, b, demand, htod, pages, exec_id,
+                              depth] {
             DEEPUM_ASSERT(inFlightPages_ >= pages,
                           "in-flight page accounting underflow");
             inFlightPages_ -= pages;
@@ -515,6 +528,12 @@ Driver::migrationStep()
                 }
                 if (!demand)
                     ++prefetchCompleted_;
+                if (ledger_ != nullptr)
+                    ledger_->onArrival(
+                        b,
+                        demand ? ArrivalCause::DemandFault
+                               : ArrivalCause::Prefetch,
+                        exec_id, depth, curTick());
                 for (auto *l : listeners_)
                     l->onBlockMigrated(b, !demand);
                 if (demand)
@@ -593,6 +612,12 @@ Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
     frames_.release(bi.pages);
     if (demand)
         ++demandEvictions_;
+    if (ledger_ != nullptr)
+        ledger_->onDeparture(victim,
+                             invalidate ? DepartureCause::Invalidate
+                             : demand   ? DepartureCause::DemandEvict
+                                        : DepartureCause::PreEvict,
+                             t);
     if (auto *tr = eventq().tracer())
         tr->duration(
             sim::Track::Migration, "evict", evict_start, t,

@@ -47,10 +47,13 @@ class Validator;
 
 namespace deepum::uvm {
 
+class ProvenanceLedger;
+
 /** A queued migration request. */
 struct MigrateCmd {
     mem::BlockId block = kNoBlock;
     std::uint32_t execId = 0; ///< predicted consumer (prefetch only)
+    std::uint32_t depth = 0;  ///< prefetch chain depth (0 = current)
 };
 
 /** The UM driver: fault handling, migration, eviction. */
@@ -74,6 +77,14 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     /** Enable/disable the inactive-PT-block invalidation path. */
     void setInvalidationEnabled(bool on) { invalidationEnabled_ = on; }
 
+    /**
+     * Attach (or detach with nullptr) the provenance ledger. Like
+     * the tracer, null (the default) means every hook site is a
+     * plain pointer check and runs stay bit-identical to a build
+     * without the feature.
+     */
+    void setLedger(ProvenanceLedger *l) { ledger_ = l; }
+
     // --- address-space management (called via the runtime) ---------
 
     /** A UM allocation appeared; create block records for it. */
@@ -92,11 +103,13 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     // --- prefetch interface (used by core::Prefetcher) -------------
 
     /**
-     * Enqueue a prefetch command.
+     * Enqueue a prefetch command. @p depth is the chain depth the
+     * prediction was made at (0 = the running kernel; ledger input).
      * @return false if dropped (full queue, already resident/queued,
      * or unknown block).
      */
-    bool enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id);
+    bool enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id,
+                         std::uint32_t depth = 0);
 
     /** Commands waiting in the prefetch queue. */
     std::size_t prefetchQueueDepth() const { return prefetchQueue_.size(); }
@@ -200,6 +213,7 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     std::vector<DriverListener *> listeners_;
     std::unique_ptr<EvictionPolicy> policy_;
     sim::Validator *validator_ = nullptr;
+    ProvenanceLedger *ledger_ = nullptr;
 
     bool invalidationEnabled_ = false;
     bool faultHandlerPending_ = false;

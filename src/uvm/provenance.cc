@@ -1,0 +1,415 @@
+#include "uvm/provenance.hh"
+
+#include <algorithm>
+#include <ostream>
+
+#include "sim/logging.hh"
+#include "sim/validate.hh"
+#include "uvm/driver.hh"
+
+namespace deepum::uvm {
+
+ProvenanceLedger::ProvenanceLedger(sim::StatSet &stats,
+                                   sim::Tick thrash_window)
+    : thrashWindow_(thrash_window),
+      arrivalsDemand_(stats, "ledger.arrivalsDemand",
+                      "blocks that became resident via demand fault"),
+      arrivalsPrefetch_(stats, "ledger.arrivalsPrefetch",
+                        "blocks that became resident via prefetch"),
+      prefetchUseful_(stats, "ledger.prefetchUseful",
+                      "prefetches touched after arriving in time"),
+      prefetchLate_(stats, "ledger.prefetchLate",
+                    "prefetches touched but landed after their "
+                    "consumer launched"),
+      prefetchWasted_(stats, "ledger.prefetchWasted",
+                      "prefetches that left device memory untouched"),
+      departDemandEvict_(stats, "ledger.departDemandEvict",
+                         "departures via fault-path eviction"),
+      departPreEvict_(stats, "ledger.departPreEvict",
+                      "departures via off-path pre-eviction"),
+      departInvalidate_(stats, "ledger.departInvalidate",
+                        "departures via invalidation (no write-back)"),
+      departRangeFree_(stats, "ledger.departRangeFree",
+                       "departures via allocation free"),
+      evictClean_(stats, "ledger.evictClean",
+                  "evictions never re-faulted inside the window"),
+      evictThrash_(stats, "ledger.evictThrash",
+                   "evictions re-faulted inside the thrash window"),
+      precisionBp_(stats, "ledger.prefetchPrecisionBp",
+                   "prefetch precision in basis points (finalize)"),
+      coverageBp_(stats, "ledger.prefetchCoverageBp",
+                  "prefetch coverage in basis points (finalize)"),
+      thrashRateBp_(stats, "ledger.thrashRateBp",
+                    "eviction thrash rate in basis points (finalize)"),
+      usefulLeadTime_(stats, "ledger.usefulLeadTime",
+                      "ticks a useful prefetch preceded its "
+                      "consumer's launch"),
+      residencyTicks_(stats, "ledger.residencyTicks",
+                      "ticks between a block's arrival and departure"),
+      depthUseful_(stats, "ledger.depthUseful",
+                   "chain depth of useful prefetches"),
+      depthWasted_(stats, "ledger.depthWasted",
+                   "chain depth of wasted prefetches")
+{
+}
+
+void
+ProvenanceLedger::onArrival(mem::BlockId b, ArrivalCause cause,
+                            std::uint32_t exec_id, std::uint32_t depth,
+                            sim::Tick t)
+{
+    BlockRecord &rec = table_[b];
+    DEEPUM_ASSERT(!rec.resident,
+                  "ledger: arrival for already-resident block %llu",
+                  static_cast<unsigned long long>(b));
+    // A re-arrival supersedes any open departure record: if it came
+    // in via demand fault, onDemandFault already classified it; a
+    // prefetch bringing it back is not thrash (no fault was taken).
+    if (rec.departed) {
+        rec.departed = false;
+        ++evictClean_;
+    }
+    rec.resident = true;
+    rec.arrival = cause;
+    rec.outcome = PrefetchOutcome::Open;
+    rec.execId = exec_id;
+    rec.depth = depth;
+    rec.arrivalTick = t;
+    if (cause == ArrivalCause::Prefetch) {
+        ++arrivalsPrefetch_;
+        ++rec.prefetchArrivals;
+    } else {
+        ++arrivalsDemand_;
+        ++rec.demandArrivals;
+    }
+}
+
+void
+ProvenanceLedger::onPrefetchTouched(mem::BlockId b, sim::Tick t)
+{
+    (void)t;
+    auto it = table_.find(b);
+    DEEPUM_ASSERT(it != table_.end() && it->second.resident,
+                  "ledger: touch on block %llu with no open arrival",
+                  static_cast<unsigned long long>(b));
+    BlockRecord &rec = it->second;
+    if (rec.arrival != ArrivalCause::Prefetch ||
+        rec.outcome != PrefetchOutcome::Open)
+        return;
+    // The consuming kernel is the one running at first touch. If the
+    // prefetch completed only after that kernel had launched, none of
+    // its lead time was saved (the access would have stalled anyway).
+    if (rec.arrivalTick > curKernelBegin_) {
+        rec.outcome = PrefetchOutcome::Late;
+        ++prefetchLate_;
+    } else {
+        rec.outcome = PrefetchOutcome::Useful;
+        ++prefetchUseful_;
+        usefulLeadTime_.sample(curKernelBegin_ - rec.arrivalTick);
+        depthUseful_.sample(rec.depth);
+    }
+}
+
+void
+ProvenanceLedger::onDeparture(mem::BlockId b, DepartureCause cause,
+                              sim::Tick t)
+{
+    auto it = table_.find(b);
+    DEEPUM_ASSERT(it != table_.end() && it->second.resident,
+                  "ledger: departure of block %llu with no open "
+                  "arrival",
+                  static_cast<unsigned long long>(b));
+    BlockRecord &rec = it->second;
+    rec.resident = false;
+    ++rec.evictions;
+    residencyTicks_.sample(t >= rec.arrivalTick
+                               ? t - rec.arrivalTick
+                               : 0);
+    if (rec.arrival == ArrivalCause::Prefetch &&
+        rec.outcome == PrefetchOutcome::Open) {
+        rec.outcome = PrefetchOutcome::Wasted;
+        ++prefetchWasted_;
+        depthWasted_.sample(rec.depth);
+    }
+    switch (cause) {
+      case DepartureCause::DemandEvict:
+        ++departDemandEvict_;
+        break;
+      case DepartureCause::PreEvict:
+        ++departPreEvict_;
+        break;
+      case DepartureCause::Invalidate:
+        ++departInvalidate_;
+        break;
+      case DepartureCause::RangeFree:
+        ++departRangeFree_;
+        break;
+    }
+    // Only real evictions open a thrash-tracking record: invalidated
+    // data was dead (re-faulting it zero-fills fresh pool data, not
+    // the same working set), and freed ranges cannot re-fault.
+    if (cause == DepartureCause::DemandEvict ||
+        cause == DepartureCause::PreEvict) {
+        rec.departed = true;
+        rec.departTick = t;
+    }
+}
+
+void
+ProvenanceLedger::closeDeparture(BlockRecord &rec, sim::Tick t)
+{
+    if (t >= rec.departTick && t - rec.departTick <= thrashWindow_) {
+        ++evictThrash_;
+        ++rec.thrashFaults;
+    } else {
+        ++evictClean_;
+    }
+    rec.departed = false;
+}
+
+void
+ProvenanceLedger::onDemandFault(mem::BlockId b, sim::Tick t)
+{
+    auto it = table_.find(b);
+    if (it == table_.end() || !it->second.departed)
+        return;
+    closeDeparture(it->second, t);
+}
+
+void
+ProvenanceLedger::onBlockFreed(mem::BlockId b, sim::Tick t,
+                               bool was_resident)
+{
+    auto it = table_.find(b);
+    if (it == table_.end())
+        return;
+    BlockRecord &rec = it->second;
+    if (was_resident && rec.resident)
+        onDeparture(b, DepartureCause::RangeFree, t);
+    if (rec.departed) {
+        rec.departed = false;
+        ++evictClean_;
+    }
+    // Block IDs are recycled when the VA range is reallocated; keep
+    // no history that could mis-attribute a future tenant's faults.
+    table_.erase(it);
+}
+
+void
+ProvenanceLedger::finalize()
+{
+    if (finalized_)
+        return;
+    finalized_ = true;
+    // det-ok(unordered-iter): order-independent counter accumulation
+    for (auto &[b, rec] : table_) {
+        (void)b;
+        if (rec.resident && rec.arrival == ArrivalCause::Prefetch &&
+            rec.outcome == PrefetchOutcome::Open) {
+            // Never consumed by the end of the run.
+            rec.outcome = PrefetchOutcome::Wasted;
+            ++prefetchWasted_;
+            depthWasted_.sample(rec.depth);
+        }
+        if (rec.departed) {
+            rec.departed = false;
+            ++evictClean_;
+        }
+    }
+
+    auto bp = [](std::uint64_t num, std::uint64_t den) {
+        return den == 0 ? 0 : (num * 10'000) / den;
+    };
+    std::uint64_t classified = prefetchUseful_.value() +
+                               prefetchLate_.value() +
+                               prefetchWasted_.value();
+    precisionBp_.set(bp(prefetchUseful_.value(), classified));
+    coverageBp_.set(bp(prefetchUseful_.value(),
+                       prefetchUseful_.value() +
+                           arrivalsDemand_.value()));
+    thrashRateBp_.set(bp(evictThrash_.value(),
+                         evictClean_.value() + evictThrash_.value()));
+}
+
+LedgerSummary
+ProvenanceLedger::summary(std::size_t top_n) const
+{
+    LedgerSummary s;
+    s.enabled = true;
+    s.thrashWindow = thrashWindow_;
+    s.arrivalsDemand = arrivalsDemand_.value();
+    s.arrivalsPrefetch = arrivalsPrefetch_.value();
+    s.prefetchUseful = prefetchUseful_.value();
+    s.prefetchLate = prefetchLate_.value();
+    s.prefetchWasted = prefetchWasted_.value();
+    s.prefetchOpen = s.arrivalsPrefetch - s.prefetchUseful -
+                     s.prefetchLate - s.prefetchWasted;
+    s.departDemandEvict = departDemandEvict_.value();
+    s.departPreEvict = departPreEvict_.value();
+    s.departInvalidate = departInvalidate_.value();
+    s.departRangeFree = departRangeFree_.value();
+    s.evictClean = evictClean_.value();
+    s.evictThrash = evictThrash_.value();
+
+    auto ratio = [](std::uint64_t num, std::uint64_t den) {
+        return den == 0 ? 0.0
+                        : static_cast<double>(num) /
+                              static_cast<double>(den);
+    };
+    s.prefetchPrecision =
+        ratio(s.prefetchUseful,
+              s.prefetchUseful + s.prefetchLate + s.prefetchWasted);
+    s.prefetchCoverage =
+        ratio(s.prefetchUseful, s.prefetchUseful + s.arrivalsDemand);
+    s.meanUsefulLeadTicks = usefulLeadTime_.mean();
+    s.thrashRate = ratio(s.evictThrash, s.evictClean + s.evictThrash);
+
+    std::vector<LedgerSummary::HotBlock> hot;
+    hot.reserve(table_.size());
+    // det-ok(unordered-iter): rows sorted deterministically below
+    for (const auto &[b, rec] : table_) {
+        if (rec.demandArrivals + rec.prefetchArrivals == 0)
+            continue;
+        hot.push_back({b, rec.demandArrivals, rec.prefetchArrivals,
+                       rec.evictions, rec.thrashFaults});
+    }
+    std::sort(hot.begin(), hot.end(),
+              [](const LedgerSummary::HotBlock &a,
+                 const LedgerSummary::HotBlock &b) {
+                  std::uint64_t ma =
+                      a.demandArrivals + a.prefetchArrivals;
+                  std::uint64_t mb =
+                      b.demandArrivals + b.prefetchArrivals;
+                  if (ma != mb)
+                      return ma > mb;
+                  return a.block < b.block;
+              });
+    if (hot.size() > top_n)
+        hot.resize(top_n);
+    s.hot = std::move(hot);
+    return s;
+}
+
+void
+ProvenanceLedger::checkInvariants(sim::CheckContext &ctx) const
+{
+    std::uint64_t open_arrivals = 0;
+    std::uint64_t open_prefetches = 0;
+    // det-ok(unordered-iter): order-independent audit accumulation
+    for (const auto &[b, rec] : table_) {
+        if (rec.resident) {
+            ++open_arrivals;
+            if (rec.arrival == ArrivalCause::Prefetch &&
+                rec.outcome == PrefetchOutcome::Open)
+                ++open_prefetches;
+        } else {
+            ctx.require(rec.outcome != PrefetchOutcome::Open ||
+                            rec.arrival != ArrivalCause::Prefetch ||
+                            finalized_,
+                        "ledger: non-resident block %llu left an "
+                        "unclassified prefetch arrival",
+                        static_cast<unsigned long long>(b));
+        }
+        ctx.require(!rec.departed || !rec.resident,
+                    "ledger: block %llu both resident and departed",
+                    static_cast<unsigned long long>(b));
+    }
+
+    if (drv_ != nullptr) {
+        // Every resident block has exactly one open arrival record
+        // and every open arrival record names a resident block.
+        ctx.require(open_arrivals == drv_->lruOrder().size(),
+                    "ledger: %llu open arrival records vs %zu "
+                    "resident blocks",
+                    static_cast<unsigned long long>(open_arrivals),
+                    drv_->lruOrder().size());
+        for (mem::BlockId b : drv_->lruOrder()) {
+            auto it = table_.find(b);
+            ctx.require(it != table_.end() && it->second.resident,
+                        "ledger: resident block %llu has no open "
+                        "arrival record",
+                        static_cast<unsigned long long>(b));
+        }
+    }
+
+    // Outcome reconciliation: every completed prefetch is either
+    // classified or still open; after finalize nothing stays open.
+    std::uint64_t classified = prefetchUseful_.value() +
+                               prefetchLate_.value() +
+                               prefetchWasted_.value();
+    ctx.require(classified + open_prefetches >=
+                    arrivalsPrefetch_.value(),
+                "ledger: %llu classified + %llu open prefetches "
+                "cannot cover %llu prefetch arrivals",
+                static_cast<unsigned long long>(classified),
+                static_cast<unsigned long long>(open_prefetches),
+                static_cast<unsigned long long>(
+                    arrivalsPrefetch_.value()));
+    // Freed blocks drop their records, so the per-block table can
+    // under-count opens relative to history — but classifications
+    // never exceed arrivals, and post-finalize they match exactly.
+    ctx.require(classified <= arrivalsPrefetch_.value(),
+                "ledger: %llu prefetch outcomes exceed %llu arrivals",
+                static_cast<unsigned long long>(classified),
+                static_cast<unsigned long long>(
+                    arrivalsPrefetch_.value()));
+    ctx.require(!finalized_ || classified == arrivalsPrefetch_.value(),
+                "ledger: finalize left %llu of %llu prefetch "
+                "arrivals unclassified",
+                static_cast<unsigned long long>(
+                    arrivalsPrefetch_.value() - classified),
+                static_cast<unsigned long long>(
+                    arrivalsPrefetch_.value()));
+
+    std::uint64_t departures = departDemandEvict_.value() +
+                               departPreEvict_.value();
+    ctx.require(evictClean_.value() + evictThrash_.value() <=
+                    departures,
+                "ledger: %llu closed eviction outcomes exceed %llu "
+                "evictions",
+                static_cast<unsigned long long>(evictClean_.value() +
+                                                evictThrash_.value()),
+                static_cast<unsigned long long>(departures));
+}
+
+void
+ProvenanceLedger::dumpState(std::ostream &os) const
+{
+    os << "ProvenanceLedger{blocks=" << table_.size()
+       << " thrashWindow=" << thrashWindow_
+       << " curKernelBegin=" << curKernelBegin_
+       << " finalized=" << finalized_ << "}\n";
+    os << "  arrivals: demand=" << arrivalsDemand_.value()
+       << " prefetch=" << arrivalsPrefetch_.value()
+       << " | outcomes: useful=" << prefetchUseful_.value()
+       << " late=" << prefetchLate_.value()
+       << " wasted=" << prefetchWasted_.value() << "\n";
+    os << "  departures: demand=" << departDemandEvict_.value()
+       << " pre=" << departPreEvict_.value()
+       << " invalidate=" << departInvalidate_.value()
+       << " free=" << departRangeFree_.value()
+       << " | clean=" << evictClean_.value()
+       << " thrash=" << evictThrash_.value() << "\n";
+
+    std::vector<mem::BlockId> ids;
+    ids.reserve(table_.size());
+    // det-ok(unordered-iter): keys sorted before printing
+    for (const auto &[b, rec] : table_)
+        ids.push_back(b);
+    std::sort(ids.begin(), ids.end());
+    for (mem::BlockId b : ids) {
+        const BlockRecord &rec = table_.at(b);
+        if (!rec.resident && !rec.departed)
+            continue;
+        os << "  block " << b << ":"
+           << (rec.resident ? " resident" : "")
+           << (rec.departed ? " departed" : "") << " cause="
+           << (rec.arrival == ArrivalCause::Prefetch ? "prefetch"
+                                                     : "demand")
+           << " outcome=" << static_cast<int>(rec.outcome)
+           << " exec=" << rec.execId << " depth=" << rec.depth
+           << " arrived=" << rec.arrivalTick << "\n";
+    }
+}
+
+} // namespace deepum::uvm

@@ -1,0 +1,236 @@
+/**
+ * @file
+ * Migration provenance ledger.
+ *
+ * The driver's counters say how many migrations happened; this
+ * ledger says *why* each one happened and whether it was a good
+ * call. It records, per UM block, the arrival cause (demand fault
+ * vs. prefetch, with the predicting exec ID and chain depth) and the
+ * departure cause (demand eviction, pre-eviction, invalidation,
+ * range free), then classifies outcomes:
+ *
+ *  - a prefetch becomes *useful* (touched, and it arrived before the
+ *    consuming kernel launched), *late* (touched, but it landed
+ *    after the consumer already began — no lead time saved), or
+ *    *wasted* (left device memory untouched);
+ *  - an eviction becomes *thrash* when the block demand-faults back
+ *    within a configurable tick window, *clean* otherwise.
+ *
+ * From those it derives the paper-grade accuracy metrics related UM
+ * studies report: prefetch precision (useful / classified
+ * prefetches), coverage (useful / (useful + demand misses)), mean
+ * useful lead time, and thrash rate — plus a deterministic top-N
+ * hot-block table for "which tensor is ping-ponging" forensics.
+ *
+ * Like sim::Tracer, the ledger is attached behind a null-by-default
+ * pointer (Driver::setLedger): with no ledger attached, no hook runs,
+ * no stat is registered, and runs are bit-identical to a build
+ * without the feature.
+ */
+
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/addr.hh"
+#include "sim/stats.hh"
+#include "sim/types.hh"
+#include "uvm/block_info.hh"
+
+namespace deepum::sim {
+class CheckContext;
+}
+
+namespace deepum::uvm {
+
+class Driver;
+
+/** Why a block became resident. */
+enum class ArrivalCause : std::uint8_t {
+    DemandFault, ///< migrated on the fault critical path
+    Prefetch,    ///< migrated by a driver-initiated prefetch
+};
+
+/** Why a block left device memory. */
+enum class DepartureCause : std::uint8_t {
+    DemandEvict, ///< capacity eviction on the fault path
+    PreEvict,    ///< eviction off the fault path (pre-eviction)
+    Invalidate,  ///< dropped without write-back (dead pool data)
+    RangeFree,   ///< its UM allocation was freed
+};
+
+/** Classification of one completed prefetch arrival. */
+enum class PrefetchOutcome : std::uint8_t {
+    Open,   ///< resident, not yet touched or evicted
+    Useful, ///< touched; arrived before its consumer launched
+    Late,   ///< touched; arrived after its consumer launched
+    Wasted, ///< left device memory untouched
+};
+
+/** Reduced end-of-run view of the ledger (for reports and tests). */
+struct LedgerSummary {
+    bool enabled = false;
+    sim::Tick thrashWindow = 0;
+
+    std::uint64_t arrivalsDemand = 0;
+    std::uint64_t arrivalsPrefetch = 0;
+    std::uint64_t prefetchUseful = 0;
+    std::uint64_t prefetchLate = 0;
+    std::uint64_t prefetchWasted = 0;
+    std::uint64_t prefetchOpen = 0; ///< still unclassified (pre-finalize)
+
+    std::uint64_t departDemandEvict = 0;
+    std::uint64_t departPreEvict = 0;
+    std::uint64_t departInvalidate = 0;
+    std::uint64_t departRangeFree = 0;
+    std::uint64_t evictClean = 0;
+    std::uint64_t evictThrash = 0;
+
+    double prefetchPrecision = 0.0; ///< useful / (useful+late+wasted)
+    double prefetchCoverage = 0.0;  ///< useful / (useful + demand)
+    double meanUsefulLeadTicks = 0.0;
+    double thrashRate = 0.0;        ///< thrash / (clean + thrash)
+
+    /** One hot-block table row (most-migrated blocks first). */
+    struct HotBlock {
+        mem::BlockId block = kNoBlock;
+        std::uint64_t demandArrivals = 0;
+        std::uint64_t prefetchArrivals = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t thrashFaults = 0;
+    };
+    std::vector<HotBlock> hot;
+};
+
+/**
+ * Per-block arrival/departure ledger with outcome classification.
+ *
+ * Constructing one registers the `ledger.*` stats into @p stats, so
+ * it must only be built when the feature is requested (a registered
+ * stat changes stats dumps even at value zero).
+ */
+class ProvenanceLedger
+{
+  public:
+    /**
+     * @param stats stat registry for the `ledger.*` counters
+     * @param thrash_window re-fault within this many ticks of an
+     *        eviction classifies it as thrash
+     */
+    ProvenanceLedger(sim::StatSet &stats, sim::Tick thrash_window);
+
+    ProvenanceLedger(const ProvenanceLedger &) = delete;
+    ProvenanceLedger &operator=(const ProvenanceLedger &) = delete;
+
+    /**
+     * Attach the driver whose residency the audit cross-checks
+     * (optional; checkInvariants skips the cross-check when null).
+     */
+    void attachDriver(const Driver *drv) { drv_ = drv; }
+
+    sim::Tick thrashWindow() const { return thrashWindow_; }
+
+    // --- hooks (called by the Driver, guarded by its null check) ----
+
+    /** A kernel began executing at @p t. */
+    void onKernelBegin(sim::Tick t) { curKernelBegin_ = t; }
+
+    /** Block @p b became resident (migration completion). */
+    void onArrival(mem::BlockId b, ArrivalCause cause,
+                   std::uint32_t exec_id, std::uint32_t depth,
+                   sim::Tick t);
+
+    /** The GPU touched prefetched-but-unused block @p b. */
+    void onPrefetchTouched(mem::BlockId b, sim::Tick t);
+
+    /** Block @p b left device memory (@p t: eviction completion). */
+    void onDeparture(mem::BlockId b, DepartureCause cause, sim::Tick t);
+
+    /** Block @p b demand-faulted while non-resident. */
+    void onDemandFault(mem::BlockId b, sim::Tick t);
+
+    /** Block @p b's allocation was freed (record scrub). */
+    void onBlockFreed(mem::BlockId b, sim::Tick t, bool was_resident);
+
+    // --- end-of-run ------------------------------------------------
+
+    /**
+     * Close the books: still-resident untouched prefetches become
+     * wasted (never consumed), open eviction records become clean,
+     * and the derived precision/coverage/thrash-rate stats are set.
+     * After this, useful + late + wasted == prefetch arrivals.
+     */
+    void finalize();
+
+    /** Reduced view with a @p top_n hot-block table. */
+    LedgerSummary summary(std::size_t top_n) const;
+
+    // --- validation (sim/validate.hh) -------------------------------
+
+    /**
+     * Audit the ledger: every resident block (per the attached
+     * driver) has exactly one open arrival record and vice versa,
+     * and the outcome counts reconcile with the arrival counts.
+     */
+    void checkInvariants(sim::CheckContext &ctx) const;
+
+    /** Stream the open records (for violation dumps). */
+    void dumpState(std::ostream &os) const;
+
+  private:
+    /** Ledger state for one UM block. */
+    struct BlockRecord {
+        // Open arrival record (valid while resident).
+        bool resident = false;
+        ArrivalCause arrival = ArrivalCause::DemandFault;
+        PrefetchOutcome outcome = PrefetchOutcome::Open;
+        std::uint32_t execId = 0;
+        std::uint32_t depth = 0;
+        sim::Tick arrivalTick = 0;
+
+        // Open departure record (awaiting a possible re-fault).
+        bool departed = false;
+        sim::Tick departTick = 0;
+
+        // Cumulative per-block history (hot-block table).
+        std::uint64_t demandArrivals = 0;
+        std::uint64_t prefetchArrivals = 0;
+        std::uint64_t evictions = 0;
+        std::uint64_t thrashFaults = 0;
+    };
+
+    /** Close @p rec's open departure record as clean or thrash. */
+    void closeDeparture(BlockRecord &rec, sim::Tick t);
+
+    const Driver *drv_ = nullptr;
+    sim::Tick thrashWindow_;
+    sim::Tick curKernelBegin_ = 0;
+    bool finalized_ = false;
+
+    std::unordered_map<mem::BlockId, BlockRecord> table_;
+
+    sim::Scalar arrivalsDemand_;
+    sim::Scalar arrivalsPrefetch_;
+    sim::Scalar prefetchUseful_;
+    sim::Scalar prefetchLate_;
+    sim::Scalar prefetchWasted_;
+    sim::Scalar departDemandEvict_;
+    sim::Scalar departPreEvict_;
+    sim::Scalar departInvalidate_;
+    sim::Scalar departRangeFree_;
+    sim::Scalar evictClean_;
+    sim::Scalar evictThrash_;
+    sim::Scalar precisionBp_;
+    sim::Scalar coverageBp_;
+    sim::Scalar thrashRateBp_;
+
+    sim::Distribution usefulLeadTime_;
+    sim::Distribution residencyTicks_;
+    sim::Distribution depthUseful_;
+    sim::Distribution depthWasted_;
+};
+
+} // namespace deepum::uvm

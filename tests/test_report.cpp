@@ -1,0 +1,173 @@
+/**
+ * @file
+ * Golden-output tests for the per-run report printer and unit tests
+ * for the energy model it summarizes.
+ */
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "harness/energy.hh"
+#include "harness/experiment.hh"
+#include "harness/report.hh"
+#include "models/registry.hh"
+
+using namespace deepum;
+using namespace deepum::harness;
+
+namespace {
+
+// ----------------------------------------------------- printRunReport
+
+TEST(RunReport, OomRunPrintsOnlyTheVerdict)
+{
+    RunResult r;
+    r.ok = false;
+    std::ostringstream os;
+    printRunReport(os, "gpt2-xl/7 UM", r);
+    EXPECT_EQ(os.str(), "== run report: gpt2-xl/7 UM ==\n"
+                        "result: OUT OF MEMORY\n");
+}
+
+TEST(RunReport, LedgerOffGoldenOutput)
+{
+    RunResult r;
+    r.ok = true;
+    r.secPer100Iters = 22.5;
+    r.pageFaultsPerIter = 1054.0;
+    r.bytesHtoDPerIter = 166 * sim::kMiB;
+    r.bytesDtoHPerIter = 165 * sim::kMiB;
+    r.energyJPerIter = 119.9;
+    r.stats["uvm.migratedBlocks"] = 946;
+    r.stats["uvm.evictedBlocks"] = 948;
+    r.stats["uvm.invalidatedBlocks"] = 768;
+    r.stats["uvm.zeroFillBlocks"] = 894;
+    r.stats["uvm.prefetchIssued"] = 1544;
+    r.stats["uvm.prefetchCompleted"] = 1518;
+    r.stats["uvm.prefetchDropped"] = 26;
+
+    std::ostringstream os;
+    printRunReport(os, "bert-base/30 DeepUM", r);
+    EXPECT_EQ(os.str(),
+              "== run report: bert-base/30 DeepUM ==\n"
+              "perf:      22.50 s/100iter, 1054 faults/iter, "
+              "166.0 MiB HtoD/iter, 165.0 MiB DtoH/iter, "
+              "119.9 J/iter\n"
+              "migration: 946 blocks in, 948 blocks out, "
+              "768 invalidated, 894 zero-filled\n"
+              "prefetch:  1544 issued, 1518 completed, 26 dropped\n"
+              "(provenance ledger off — rerun with the ledger "
+              "enabled for accuracy metrics)\n");
+}
+
+TEST(RunReport, LedgerSectionsAndHotTable)
+{
+    RunResult r;
+    r.ok = true;
+    r.ledger.enabled = true;
+    r.ledger.thrashWindow = 1'000'000;
+    r.ledger.arrivalsDemand = 322;
+    r.ledger.arrivalsPrefetch = 1518;
+    r.ledger.prefetchUseful = 1503;
+    r.ledger.prefetchLate = 0;
+    r.ledger.prefetchWasted = 15;
+    r.ledger.departDemandEvict = 5;
+    r.ledger.departPreEvict = 943;
+    r.ledger.departInvalidate = 768;
+    r.ledger.evictClean = 936;
+    r.ledger.evictThrash = 12;
+    r.ledger.prefetchPrecision = 1503.0 / 1518.0;
+    r.ledger.prefetchCoverage = 1503.0 / (1503.0 + 322.0);
+    r.ledger.meanUsefulLeadTicks = 39.785e6;
+    r.ledger.thrashRate = 12.0 / 948.0;
+    r.ledger.hot.push_back({/*block=*/32773, /*demandArrivals=*/11,
+                            /*prefetchArrivals=*/2, /*evictions=*/12,
+                            /*thrashFaults=*/3});
+
+    std::ostringstream os;
+    printRunReport(os, "t", r);
+    std::string out = os.str();
+    EXPECT_NE(out.find("prefetch accuracy (ledger)"),
+              std::string::npos);
+    EXPECT_NE(out.find("arrivals:  1518 prefetch, 322 demand"),
+              std::string::npos);
+    EXPECT_NE(out.find("1503 useful, 0 late, 15 wasted "
+                       "(1518 classified)"),
+              std::string::npos);
+    EXPECT_NE(out.find("precision: 99.0%"), std::string::npos);
+    EXPECT_NE(out.find("coverage: 82.4%"), std::string::npos);
+    EXPECT_NE(out.find("mean useful lead: 39.785 ms"),
+              std::string::npos);
+    EXPECT_NE(out.find("eviction quality (ledger)"),
+              std::string::npos);
+    EXPECT_NE(out.find("936 clean, 12 thrash (rate 1.3%, "
+                       "window 1.000 ms)"),
+              std::string::npos);
+    EXPECT_NE(out.find("hot blocks (most migrated first)"),
+              std::string::npos);
+    EXPECT_NE(out.find("32773"), std::string::npos);
+}
+
+TEST(RunReport, EndToEndRunRoundTrips)
+{
+    torch::Tape tape = models::buildModel("bert-base", 30);
+    ExperimentConfig cfg;
+    cfg.iterations = 12;
+    cfg.warmup = 6;
+    cfg.ledger = true;
+    RunResult r = runExperiment(tape, SystemKind::DeepUm, cfg);
+    ASSERT_TRUE(r.ok);
+
+    std::ostringstream a, b;
+    printRunReport(a, "x", r);
+    printRunReport(b, "x", r);
+    // Deterministic: same result renders byte-identically.
+    EXPECT_EQ(a.str(), b.str());
+    EXPECT_NE(a.str().find("prefetch accuracy (ledger)"),
+              std::string::npos);
+}
+
+// ------------------------------------------------------------ energy
+
+TEST(Energy, ZeroWindowIsZeroJoules)
+{
+    EnergyModel m;
+    EXPECT_DOUBLE_EQ(m.joules(0, 0, 0, 0), 0.0);
+}
+
+TEST(Energy, TermsAreIndependent)
+{
+    EnergyModel m;
+    double base = m.joules(sim::kSec, 0, 0, 0);
+    double gpu = m.joules(sim::kSec, sim::kSec, 0, 0) - base;
+    double link = m.joules(sim::kSec, 0, sim::kSec, 0) - base;
+    double bytes = m.joules(sim::kSec, 0, 0, 1'000'000'000) - base;
+    EXPECT_DOUBLE_EQ(gpu, m.gpuPowerW);
+    EXPECT_DOUBLE_EQ(link, m.linkPowerW);
+    EXPECT_NEAR(bytes, m.perByteNj, 1e-12);
+}
+
+TEST(Energy, ScalesLinearlyWithTime)
+{
+    EnergyModel m;
+    double one = m.joules(sim::kSec, sim::kSec / 2, sim::kSec / 4,
+                          1 << 20);
+    double two = m.joules(2 * sim::kSec, sim::kSec, sim::kSec / 2,
+                          2 << 20);
+    EXPECT_NEAR(two, 2.0 * one, 1e-9);
+}
+
+TEST(Energy, CustomCoefficientsAreUsed)
+{
+    EnergyModel m;
+    m.basePowerW = 1.0;
+    m.gpuPowerW = 2.0;
+    m.linkPowerW = 3.0;
+    m.perByteNj = 4.0;
+    EXPECT_NEAR(m.joules(sim::kSec, sim::kSec, sim::kSec,
+                         250'000'000),
+                1.0 + 2.0 + 3.0 + 1.0, 1e-12);
+}
+
+} // namespace

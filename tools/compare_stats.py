@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Compare two StatSet::dumpJson outputs with per-stat tolerances.
+
+Usage:
+    compare_stats.py BASELINE.json CANDIDATE.json
+        [--tolerances RULES.json] [--default-rel X] [--default-abs Y]
+        [--allow-missing] [--allow-new] [--verbose]
+
+Both inputs are the ``{"scalars": {...}, "distributions": {...}}``
+shape written by ``StatSet::dumpJson`` (e.g. ``simctl --stats-json``).
+Each scalar becomes one comparable entry under its dotted name; each
+distribution is flattened into ``<name>.count``, ``.min``, ``.max``,
+``.sum``, ``.mean``, ``.stddev``, ``.p50``, ``.p90`` and ``.p99``.
+
+A value pair passes when ``|cand - base| <= abs_tol`` or the relative
+error ``|cand - base| / max(|base|, tiny)`` is within ``rel_tol``.
+Defaults are exact (rel 0, abs 0) so a bare invocation is a strict
+bit-comparison suitable for determinism checks; golden-baseline
+comparisons supply a tolerance file.
+
+The tolerance file is JSON: ``{"rules": [{"pattern": "ledger.*",
+"rel": 0.01, "abs": 0}, ...]}``. Patterns are fnmatch globs matched
+against the flattened name; the FIRST matching rule wins, so put
+specific patterns before broad ones. A rule may also set
+``"ignore": true`` to skip matching stats entirely.
+
+Exit status: 0 when every compared stat is within tolerance (and no
+missing/new stats unless allowed), 1 on any violation, 2 on usage or
+file errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import fnmatch
+import json
+import sys
+
+DIST_FIELDS = (
+    "count", "min", "max", "sum", "mean", "stddev", "p50", "p90",
+    "p99",
+)
+
+
+def flatten(doc):
+    """Dict of flattened-name -> numeric value from a dumpJson doc."""
+    if not isinstance(doc, dict):
+        raise ValueError("top level is not a JSON object")
+    flat = {}
+    for name, value in doc.get("scalars", {}).items():
+        flat[name] = value
+    for name, fields in doc.get("distributions", {}).items():
+        if not isinstance(fields, dict):
+            raise ValueError(f"distribution {name!r} is not an object")
+        for field in DIST_FIELDS:
+            if field in fields:
+                flat[f"{name}.{field}"] = fields[field]
+    return flat
+
+
+class Rule:
+    def __init__(self, pattern, rel, abs_tol, ignore=False):
+        self.pattern = pattern
+        self.rel = rel
+        self.abs = abs_tol
+        self.ignore = ignore
+
+
+def load_rules(path):
+    with open(path, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    raw = doc["rules"] if isinstance(doc, dict) else doc
+    rules = []
+    for entry in raw:
+        rules.append(Rule(
+            entry["pattern"],
+            float(entry.get("rel", 0.0)),
+            float(entry.get("abs", 0.0)),
+            bool(entry.get("ignore", False)),
+        ))
+    return rules
+
+
+def match_rule(rules, name):
+    for rule in rules:
+        if fnmatch.fnmatchcase(name, rule.pattern):
+            return rule
+    return None
+
+
+def within(base, cand, rel, abs_tol):
+    if base == cand:
+        return True
+    diff = abs(cand - base)
+    if diff <= abs_tol:
+        return True
+    denom = max(abs(base), 1e-300)
+    return diff / denom <= rel
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="Diff two StatSet JSON dumps with tolerances.")
+    ap.add_argument("baseline")
+    ap.add_argument("candidate")
+    ap.add_argument("--tolerances", metavar="RULES.json",
+                    help="per-pattern tolerance rules (first match "
+                         "wins)")
+    ap.add_argument("--default-rel", type=float, default=0.0,
+                    help="relative tolerance for stats no rule "
+                         "matches (default: exact)")
+    ap.add_argument("--default-abs", type=float, default=0.0,
+                    help="absolute tolerance for stats no rule "
+                         "matches (default: exact)")
+    ap.add_argument("--allow-missing", action="store_true",
+                    help="do not fail when a baseline stat is absent "
+                         "from the candidate")
+    ap.add_argument("--allow-new", action="store_true",
+                    help="do not fail when the candidate has stats "
+                         "the baseline lacks")
+    ap.add_argument("--verbose", action="store_true",
+                    help="also list stats that passed")
+    args = ap.parse_args(argv)
+
+    try:
+        with open(args.baseline, encoding="utf-8") as fh:
+            base = flatten(json.load(fh))
+        with open(args.candidate, encoding="utf-8") as fh:
+            cand = flatten(json.load(fh))
+        rules = load_rules(args.tolerances) if args.tolerances else []
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"compare_stats: {exc}", file=sys.stderr)
+        return 2
+
+    violations = []
+    compared = 0
+    for name in sorted(base):
+        rule = match_rule(rules, name)
+        if rule is not None and rule.ignore:
+            continue
+        if name not in cand:
+            if not args.allow_missing:
+                violations.append(f"{name}: missing from candidate")
+            continue
+        rel = rule.rel if rule is not None else args.default_rel
+        abs_tol = rule.abs if rule is not None else args.default_abs
+        compared += 1
+        b, c = base[name], cand[name]
+        if within(b, c, rel, abs_tol):
+            if args.verbose:
+                print(f"ok   {name}: {b} -> {c}")
+            continue
+        denom = max(abs(b), 1e-300)
+        violations.append(
+            f"{name}: baseline {b} vs candidate {c} "
+            f"(rel {abs(c - b) / denom:.4g} > {rel:g}, "
+            f"abs {abs(c - b):.4g} > {abs_tol:g})")
+    if not args.allow_new:
+        for name in sorted(set(cand) - set(base)):
+            rule = match_rule(rules, name)
+            if rule is not None and rule.ignore:
+                continue
+            violations.append(f"{name}: new stat not in baseline")
+
+    for line in violations:
+        print(f"FAIL {line}")
+    print(f"compare_stats: {compared} stats compared, "
+          f"{len(violations)} violation(s)")
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

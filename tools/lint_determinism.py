@@ -20,6 +20,11 @@ behaviour:
                     so iteration order does too)
   const-cast        const_cast<...> (UB when the object is const)
   reinterpret-cast  reinterpret_cast<...> (type punning hazard)
+  stat-name         Scalar/Distribution registrations whose name does
+                    not follow the `component.camelCaseStat` dotted
+                    lowercase-first convention (stable, predictable
+                    names keep StatSet::dumpJson diffs and the
+                    compare_stats.py tolerance patterns meaningful)
 
 Suppressions, in decreasing preference:
   * a `det-ok(<rule>): <reason>` comment on the flagged line or the
@@ -45,6 +50,7 @@ RULES = (
     "ptr-key",
     "const-cast",
     "reinterpret-cast",
+    "stat-name",
 )
 
 SOURCE_SUFFIXES = {".cc", ".cpp", ".cxx", ".hh", ".hpp", ".h"}
@@ -64,6 +70,15 @@ NONDET_PATTERNS = [
 ]
 
 SUPPRESS_RE = re.compile(r"det-ok\(([a-z-]+)\)\s*:\s*\S")
+
+# A stat registration: first ctor argument is the StatSet (named
+# `stats` by convention), second is the dotted name literal. Matched
+# against the stripped text (string contents are read from the raw
+# text at the same offset).
+STAT_REG_RE = re.compile(r"\(\s*stats_?\s*,\s*\"")
+
+STAT_NAME_RE = re.compile(
+    r"^[a-z][A-Za-z0-9]*(\.[a-z][A-Za-z0-9]*)+$")
 
 RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)", re.S)
 
@@ -273,6 +288,22 @@ def check_file(path: Path, decl_extra: str | None) -> list[Finding]:
                     "time from the event queue", raw_lines[ln - 1]))
 
     check_ptr_keys(path, text, findings, raw_lines)
+
+    # stat-name: registrations must use dotted lowercase-first names.
+    for m in STAT_REG_RE.finditer(text):
+        quote = m.end() - 1
+        end = raw.find('"', quote + 1)
+        if end < 0:
+            continue
+        name = raw[quote + 1:end]
+        if STAT_NAME_RE.match(name):
+            continue
+        ln = line_of(text, m.start())
+        findings.append(Finding(
+            path, ln, "stat-name",
+            f'stat name "{name}" does not match the '
+            "`component.camelCaseStat` convention "
+            "(lowercase-first dotted segments)", raw_lines[ln - 1]))
 
     for cast, rule in (("const_cast", "const-cast"),
                        ("reinterpret_cast", "reinterpret-cast")):
