@@ -1,0 +1,386 @@
+/**
+ * @file
+ * Fault-path throughput benchmark.
+ *
+ * Two measurements:
+ *
+ *  1. End-to-end: a bare Driver + GpuEngine stack runs a sliding
+ *     window of kernels over more blocks than the GPU holds, so every
+ *     kernel faults, migrates, and evicts. Reports simulated page
+ *     faults handled per wall-clock second — the number the dense
+ *     BlockStore rewrite targets (the whole Figure-3 pipeline probes
+ *     block metadata on every drain, dedupe, evict, and map step).
+ *
+ *  2. Store-vs-map A/B: the same mixed probe/LRU-touch/flag-flip op
+ *     sequence replayed against the production uvm::BlockStore and
+ *     against the pre-rewrite bookkeeping (std::unordered_map records
+ *     + std::list LRU + a BlockId->iterator side map), with a
+ *     checksum proving both sides observe identical state. This leg
+ *     compiles only in trees that have uvm/block_store.hh, so the
+ *     same source file builds against the pre-rewrite tree to take
+ *     the end-to-end baseline.
+ *
+ * --json writes machine-readable perf numbers (plus host_cores: the
+ * figures are wall-clock and meaningless to compare across machines
+ * without it). --stats-json dumps the end-to-end run's StatSet; the
+ * run is deterministic, so CI runs the benchmark twice and requires
+ * the two dumps to be byte-identical.
+ *
+ * Usage:
+ *   fault_path [--kernels N] [--blocks N] [--gpu-blocks N]
+ *              [--micro-ops N] [--json file] [--stats-json file]
+ */
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <list>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "bench/common.hh"
+#include "gpu/fault_buffer.hh"
+#include "gpu/gpu_engine.hh"
+#include "gpu/pcie_link.hh"
+#include "mem/frame_pool.hh"
+#include "sim/event_queue.hh"
+#include "sim/rng.hh"
+#include "sim/stats.hh"
+#include "uvm/driver.hh"
+
+#if __has_include("uvm/block_store.hh")
+#include "uvm/block_store.hh"
+#define FAULT_PATH_HAVE_BLOCK_STORE 1
+#endif
+
+using namespace deepum;
+using namespace deepum::bench;
+
+namespace {
+
+double
+secondsSince(std::chrono::steady_clock::time_point t0)
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now() - t0)
+        .count();
+}
+
+/** End-to-end result: faults/sec through the full pipeline. */
+struct EndToEnd {
+    std::uint64_t pageFaults = 0;
+    std::uint64_t evictedBlocks = 0;
+    std::uint64_t kernels = 0;
+    sim::Tick simTicks = 0;
+    double wallSec = 0;
+    double faultsPerSec = 0;
+};
+
+/**
+ * Drive @p kernels kernels over @p totalBlocks registered blocks on a
+ * @p gpuBlocks-block GPU. Kernel i touches the @p gpuBlocks-wide
+ * window starting at i * gpuBlocks/2 (mod totalBlocks): half of every
+ * window is new, so the steady state is continuous faulting with an
+ * eviction per migration — the worst-case Figure-3 load.
+ */
+EndToEnd
+runEndToEnd(std::uint64_t kernels, std::uint64_t totalBlocks,
+            std::uint64_t gpuBlocks, const std::string &statsJson)
+{
+    sim::EventQueue eq;
+    sim::StatSet stats;
+    gpu::TimingConfig cfg;
+    gpu::FaultBuffer fb;
+    gpu::PcieLink link{cfg};
+    mem::FramePool frames{gpuBlocks * mem::kPagesPerBlock};
+    gpu::GpuEngine engine{eq, cfg, fb, stats};
+    uvm::Driver drv{eq, cfg, fb, link, frames, stats};
+    engine.setBackend(&drv);
+    drv.setEngine(&engine);
+
+    drv.registerRange(mem::kUmBase, totalBlocks * mem::kBlockBytes);
+    mem::BlockId b0 = mem::blockOf(mem::kUmBase);
+
+    gpu::KernelInfo kernel;
+    kernel.name = "fault_path";
+    kernel.computeNs = 10 * sim::kUsec;
+
+    std::uint64_t stride = gpuBlocks / 2 ? gpuBlocks / 2 : 1;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kernels; ++i) {
+        kernel.accesses.clear();
+        for (std::uint64_t j = 0; j < gpuBlocks; ++j)
+            kernel.accesses.push_back(gpu::BlockAccess{
+                b0 + (i * stride + j) % totalBlocks,
+                static_cast<std::uint32_t>(mem::kPagesPerBlock),
+                false});
+        bool done = false;
+        engine.launch(&kernel, [&] { done = true; });
+        eq.run();
+        if (!done) {
+            std::fprintf(stderr, "error: kernel %llu never retired\n",
+                         static_cast<unsigned long long>(i));
+            std::exit(1);
+        }
+    }
+
+    EndToEnd r;
+    r.wallSec = secondsSince(t0);
+    r.pageFaults = stats.get("uvm.pageFaults");
+    r.evictedBlocks = stats.get("uvm.evictedBlocks");
+    r.kernels = kernels;
+    r.simTicks = eq.now();
+    r.faultsPerSec = r.wallSec > 0
+                         ? static_cast<double>(r.pageFaults) / r.wallSec
+                         : 0.0;
+    if (!statsJson.empty()) {
+        std::ofstream os(statsJson);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         statsJson.c_str());
+            std::exit(1);
+        }
+        stats.dumpJson(os);
+    }
+    return r;
+}
+
+#ifdef FAULT_PATH_HAVE_BLOCK_STORE
+
+/** A/B result: identical op streams on both structures. */
+struct Micro {
+    double storeOpsPerSec = 0;
+    double mapOpsPerSec = 0;
+    double speedup = 0;
+    bool checksumMatch = false;
+};
+
+constexpr std::uint64_t kMicroRanges = 8;
+constexpr std::uint64_t kMicroBlocksPerRange = 512;
+
+/** Base block of micro range @p r (ranges deliberately disjoint). */
+constexpr mem::BlockId
+microRangeBase(std::uint64_t r)
+{
+    return mem::blockOf(mem::kUmBase) + r * 4 * kMicroBlocksPerRange;
+}
+
+/**
+ * The op mix, mirroring the fault path: bursts of consecutive blocks
+ * (a fault batch groups one kernel's window, so metadata probes are
+ * highly local), each op 70% probe-and-read (drain dedupe, residency
+ * checks), 15% LRU re-queue (migration completes), 15% probe-and-flip
+ * (pin/unpin). Returns a state checksum.
+ */
+template <typename Probe, typename Touch, typename Flip>
+std::uint64_t
+runOps(std::uint64_t ops, Probe probe, Touch touch, Flip flip)
+{
+    constexpr std::uint64_t kBurst = 64;
+    sim::Rng rng(7);
+    std::uint64_t checksum = 0;
+    for (std::uint64_t i = 0; i < ops;) {
+        mem::BlockId start =
+            microRangeBase(rng.below(kMicroRanges)) +
+            rng.below(kMicroBlocksPerRange - kBurst);
+        for (std::uint64_t k = 0; k < kBurst && i < ops; ++k, ++i) {
+            mem::BlockId b = start + k;
+            std::uint64_t kind = rng.below(100);
+            if (kind < 70)
+                checksum += probe(b);
+            else if (kind < 85)
+                checksum += touch(b);
+            else
+                checksum += flip(b);
+        }
+    }
+    return checksum;
+}
+
+Micro
+runMicro(std::uint64_t ops)
+{
+    // Production structure: the dense BlockStore.
+    uvm::BlockStore store;
+    for (std::uint64_t r = 0; r < kMicroRanges; ++r) {
+        uvm::BlockIndex base = store.registerRun(
+            microRangeBase(r),
+            microRangeBase(r) + kMicroBlocksPerRange);
+        for (std::uint64_t j = 0; j < kMicroBlocksPerRange; ++j) {
+            uvm::BlockIndex i =
+                base + static_cast<uvm::BlockIndex>(j);
+            store.at(i).loc = uvm::Loc::Device;
+            store.lruPushBack(i);
+        }
+    }
+
+    // Pre-rewrite structure: hash map + list LRU + iterator side map.
+    std::unordered_map<mem::BlockId, uvm::BlockInfo> blocks;
+    std::list<mem::BlockId> lru;
+    std::unordered_map<mem::BlockId, std::list<mem::BlockId>::iterator>
+        lruPos;
+    for (std::uint64_t r = 0; r < kMicroRanges; ++r) {
+        for (std::uint64_t j = 0; j < kMicroBlocksPerRange; ++j) {
+            mem::BlockId b = microRangeBase(r) + j;
+            blocks[b].loc = uvm::Loc::Device;
+            lruPos[b] = lru.insert(lru.end(), b);
+        }
+    }
+
+    auto t0 = std::chrono::steady_clock::now();
+    std::uint64_t storeSum = runOps(
+        ops,
+        [&](mem::BlockId b) -> std::uint64_t {
+            uvm::BlockIndex i = store.find(b);
+            return static_cast<std::uint64_t>(store.at(i).loc) + b;
+        },
+        [&](mem::BlockId b) -> std::uint64_t {
+            uvm::BlockIndex i = store.find(b);
+            store.lruErase(i);
+            store.lruPushBack(i);
+            return store.idAt(store.lruTail());
+        },
+        [&](mem::BlockId b) -> std::uint64_t {
+            uvm::BlockIndex i = store.find(b);
+            store.at(i).pinned = !store.at(i).pinned;
+            return store.at(i).pinned ? b : 0;
+        });
+    double storeSec = secondsSince(t0);
+
+    t0 = std::chrono::steady_clock::now();
+    std::uint64_t mapSum = runOps(
+        ops,
+        [&](mem::BlockId b) -> std::uint64_t {
+            return static_cast<std::uint64_t>(blocks.find(b)->second.loc) +
+                   b;
+        },
+        [&](mem::BlockId b) -> std::uint64_t {
+            auto it = lruPos.find(b);
+            lru.erase(it->second);
+            it->second = lru.insert(lru.end(), b);
+            return lru.back();
+        },
+        [&](mem::BlockId b) -> std::uint64_t {
+            auto &bi = blocks.find(b)->second;
+            bi.pinned = !bi.pinned;
+            return bi.pinned ? b : 0;
+        });
+    double mapSec = secondsSince(t0);
+
+    Micro m;
+    m.checksumMatch = storeSum == mapSum;
+    m.storeOpsPerSec =
+        storeSec > 0 ? static_cast<double>(ops) / storeSec : 0.0;
+    m.mapOpsPerSec =
+        mapSec > 0 ? static_cast<double>(ops) / mapSec : 0.0;
+    m.speedup =
+        m.mapOpsPerSec > 0 ? m.storeOpsPerSec / m.mapOpsPerSec : 0.0;
+    return m;
+}
+
+#endif // FAULT_PATH_HAVE_BLOCK_STORE
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::uint64_t kernels = 16384;
+    std::uint64_t totalBlocks = 1024;
+    std::uint64_t gpuBlocks = 256;
+    std::uint64_t microOps = 20'000'000;
+    std::string json, statsJson;
+
+    for (int i = 1; i < argc; ++i) {
+        std::string a = argv[i];
+        if (a == "--kernels" && i + 1 < argc) {
+            kernels = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--blocks" && i + 1 < argc) {
+            totalBlocks = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--gpu-blocks" && i + 1 < argc) {
+            gpuBlocks = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--micro-ops" && i + 1 < argc) {
+            microOps = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--json" && i + 1 < argc) {
+            json = argv[++i];
+        } else if (a == "--stats-json" && i + 1 < argc) {
+            statsJson = argv[++i];
+        } else {
+            std::fprintf(
+                stderr,
+                "usage: fault_path [--kernels N] [--blocks N] "
+                "[--gpu-blocks N] [--micro-ops N] [--json file] "
+                "[--stats-json file]\n");
+            return 2;
+        }
+    }
+    if (gpuBlocks >= totalBlocks) {
+        std::fprintf(stderr,
+                     "error: --gpu-blocks must be < --blocks (no "
+                     "eviction pressure otherwise)\n");
+        return 2;
+    }
+
+    unsigned cores = std::max(1u, std::thread::hardware_concurrency());
+
+    banner("fault-path throughput (full Figure-3 pipeline)");
+    EndToEnd e = runEndToEnd(kernels, totalBlocks, gpuBlocks,
+                             statsJson);
+    std::printf("host cores           %u\n", cores);
+    std::printf("kernels              %llu\n",
+                static_cast<unsigned long long>(e.kernels));
+    std::printf("page faults          %llu\n",
+                static_cast<unsigned long long>(e.pageFaults));
+    std::printf("evicted blocks       %llu\n",
+                static_cast<unsigned long long>(e.evictedBlocks));
+    std::printf("wall time            %.3f s\n", e.wallSec);
+    std::printf("faults/sec           %.3e\n", e.faultsPerSec);
+
+#ifdef FAULT_PATH_HAVE_BLOCK_STORE
+    banner("block metadata ops (BlockStore vs unordered_map+list)");
+    Micro m = runMicro(microOps);
+    std::printf("map ops/sec          %.3e\n", m.mapOpsPerSec);
+    std::printf("store ops/sec        %.3e\n", m.storeOpsPerSec);
+    std::printf("speedup              %.2fx\n", m.speedup);
+    std::printf("state agreement      %s\n",
+                m.checksumMatch ? "identical (checksum match)"
+                                : "MISMATCH");
+    if (!m.checksumMatch) {
+        std::fprintf(stderr,
+                     "error: store and map disagree on final state\n");
+        return 1;
+    }
+#endif
+
+    if (!json.empty()) {
+        std::ofstream os(json);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n", json.c_str());
+            return 1;
+        }
+        os << "{\n"
+           << "  \"host_cores\": " << cores << ",\n"
+           << "  \"kernels\": " << e.kernels << ",\n"
+           << "  \"total_blocks\": " << totalBlocks << ",\n"
+           << "  \"gpu_blocks\": " << gpuBlocks << ",\n"
+           << "  \"page_faults\": " << e.pageFaults << ",\n"
+           << "  \"evicted_blocks\": " << e.evictedBlocks << ",\n"
+           << "  \"sim_ticks\": " << e.simTicks << ",\n"
+           << "  \"wall_sec\": " << e.wallSec << ",\n"
+           << "  \"faults_per_sec\": " << e.faultsPerSec;
+#ifdef FAULT_PATH_HAVE_BLOCK_STORE
+        os << ",\n"
+           << "  \"micro\": {\"ops\": " << microOps
+           << ", \"map_ops_per_sec\": " << m.mapOpsPerSec
+           << ", \"store_ops_per_sec\": " << m.storeOpsPerSec
+           << ", \"speedup\": " << m.speedup << ", \"checksum_match\": "
+           << (m.checksumMatch ? "true" : "false") << "}";
+#endif
+        os << "\n}\n";
+    }
+    return 0;
+}

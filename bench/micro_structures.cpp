@@ -5,13 +5,18 @@
  * the SPSC queues, and driver residency checks — the operations the
  * paper argues are cheap enough to hide in fault handling — plus the
  * simulator's own hot core: event-queue push/pop and the inline
- * event callable vs std::function.
+ * event callable vs std::function — and the block-metadata
+ * structures: the dense BlockStore range probe vs the pre-rewrite
+ * unordered_map::find, and the intrusive slab LRU vs the former
+ * std::list + BlockId->iterator side map.
  */
 
 #include <benchmark/benchmark.h>
 
 #include <cstdint>
 #include <functional>
+#include <list>
+#include <unordered_map>
 #include <vector>
 
 #include "core/block_correlation_table.hh"
@@ -21,6 +26,7 @@
 #include "sim/inline_fn.hh"
 #include "sim/rng.hh"
 #include "sim/spsc_queue.hh"
+#include "uvm/block_store.hh"
 
 using namespace deepum;
 using namespace deepum::core;
@@ -174,5 +180,109 @@ BM_StdFunctionConstructInvoke(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_StdFunctionConstructInvoke);
+
+// Block-metadata lookups. The driver probes per fault-buffer entry,
+// per residency check, and per LRU step; state.range(0) is the
+// number of registered ranges the store's run table holds (an
+// allocation-heavy net has many, a toy test has one).
+
+/** Deterministic block addresses spread over @p ranges runs. */
+std::vector<mem::BlockId>
+blockAddrs(std::uint64_t ranges, std::uint64_t perRange)
+{
+    std::vector<mem::BlockId> addrs(8192);
+    sim::Rng rng(11);
+    for (auto &a : addrs) {
+        std::uint64_t pick = rng.below(ranges * perRange);
+        a = mem::blockOf(mem::kUmBase) + (pick / perRange) * 4 * perRange +
+            pick % perRange;
+    }
+    return addrs;
+}
+
+void
+BM_BlockStoreProbe(benchmark::State &state)
+{
+    const std::uint64_t ranges = state.range(0), per = 512;
+    uvm::BlockStore store;
+    for (std::uint64_t r = 0; r < ranges; ++r) {
+        mem::BlockId base = mem::blockOf(mem::kUmBase) + r * 4 * per;
+        store.registerRun(base, base + per);
+    }
+    const auto addrs = blockAddrs(ranges, per);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(store.find(addrs[++n & 8191]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BlockStoreProbe)->Arg(1)->Arg(8)->Arg(64);
+
+void
+BM_UnorderedMapProbe(benchmark::State &state)
+{
+    const std::uint64_t ranges = state.range(0), per = 512;
+    std::unordered_map<mem::BlockId, uvm::BlockInfo> blocks;
+    for (std::uint64_t r = 0; r < ranges; ++r) {
+        mem::BlockId base = mem::blockOf(mem::kUmBase) + r * 4 * per;
+        for (std::uint64_t j = 0; j < per; ++j)
+            blocks[base + j];
+    }
+    const auto addrs = blockAddrs(ranges, per);
+    std::uint64_t n = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(blocks.find(addrs[++n & 8191]));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_UnorderedMapProbe)->Arg(1)->Arg(8)->Arg(64);
+
+// LRU requeue (a migration completing moves its block to the back).
+// The intrusive version is two index writes in records the probe
+// already touched; the pre-rewrite version pays a hash lookup into
+// the side map plus list-node churn.
+
+void
+BM_IntrusiveLruRequeue(benchmark::State &state)
+{
+    const std::uint64_t per = 4096;
+    uvm::BlockStore store;
+    mem::BlockId base = mem::blockOf(mem::kUmBase);
+    uvm::BlockIndex first = store.registerRun(base, base + per);
+    for (std::uint64_t j = 0; j < per; ++j)
+        store.lruPushBack(first + static_cast<uvm::BlockIndex>(j));
+    sim::Rng rng(12);
+    for (auto _ : state) {
+        uvm::BlockIndex i =
+            first + static_cast<uvm::BlockIndex>(rng.below(per));
+        store.lruErase(i);
+        store.lruPushBack(i);
+    }
+    benchmark::DoNotOptimize(store.lruTail());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IntrusiveLruRequeue);
+
+void
+BM_ListMapLruRequeue(benchmark::State &state)
+{
+    const std::uint64_t per = 4096;
+    mem::BlockId base = mem::blockOf(mem::kUmBase);
+    std::list<mem::BlockId> lru;
+    std::unordered_map<mem::BlockId, std::list<mem::BlockId>::iterator>
+        pos;
+    for (std::uint64_t j = 0; j < per; ++j)
+        pos[base + j] = lru.insert(lru.end(), base + j);
+    sim::Rng rng(12);
+    for (auto _ : state) {
+        mem::BlockId b = base + rng.below(per);
+        auto it = pos.find(b);
+        lru.erase(it->second);
+        it->second = lru.insert(lru.end(), b);
+    }
+    benchmark::DoNotOptimize(lru.back());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ListMapLruRequeue);
 
 } // namespace

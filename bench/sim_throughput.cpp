@@ -270,7 +270,12 @@ main(int argc, char **argv)
             std::fprintf(stderr, "cannot open %s\n", out.c_str());
             return 1;
         }
+        // Wall-clock figures are meaningless across machines without
+        // the core count; record it first.
         os << "{\n"
+           << "  \"host_cores\": "
+           << std::max(1u, std::thread::hardware_concurrency())
+           << ",\n"
            << "  \"events\": " << cal.executed << ",\n"
            << "  \"heap_events_per_sec\": " << heap.eventsPerSec
            << ",\n"

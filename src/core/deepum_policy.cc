@@ -8,9 +8,11 @@ namespace deepum::core {
 mem::BlockId
 DeepUmPolicy::pickVictim(const uvm::Driver &drv, bool demand)
 {
-    for (mem::BlockId b : drv.lruOrder()) {
-        if (!drv.isPinned(b) && !prefetcher_.isProtected(b))
-            return b;
+    const uvm::BlockStore &st = drv.store();
+    for (uvm::BlockIndex i = st.lruHead(); i != uvm::kNoBlockIndex;
+         i = st.at(i).lruNext) {
+        if (!st.at(i).pinned && !prefetcher_.isProtectedIndex(i))
+            return st.idAt(i);
     }
     // Everything unpinned is protected. A demand fault must make
     // progress, so fall back to plain LRU; a prefetch or
@@ -18,9 +20,10 @@ DeepUmPolicy::pickVictim(const uvm::Driver &drv, bool demand)
     // room for less certain data — better to drop it.
     if (!demand)
         return uvm::kNoBlock;
-    for (mem::BlockId b : drv.lruOrder()) {
-        if (!drv.isPinned(b))
-            return b;
+    for (uvm::BlockIndex i = st.lruHead(); i != uvm::kNoBlockIndex;
+         i = st.at(i).lruNext) {
+        if (!st.at(i).pinned)
+            return st.idAt(i);
     }
     return uvm::kNoBlock;
 }

@@ -1,6 +1,5 @@
 #include "core/prefetcher.hh"
 
-#include <algorithm>
 #include <ostream>
 
 #include "sim/trace.hh"
@@ -44,21 +43,32 @@ Prefetcher::Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
 }
 
 void
+Prefetcher::dropProt(uvm::BlockIndex i)
+{
+    DEEPUM_ASSERT(i < protCount_.size() && protCount_[i] > 0,
+                  "protection refcount out of sync");
+    if (--protCount_[i] == 0)
+        --protectedDistinct_;
+}
+
+void
 Prefetcher::protect(std::size_t slot, mem::BlockId b)
 {
-    slots_[slot].blocks.push_back(b);
-    ++protected_[b];
+    uvm::BlockIndex i = drv_.store().find(b);
+    slots_[slot].blocks.push_back(ProtEntry{b, i});
+    if (i == uvm::kNoBlockIndex)
+        return; // unknown block: nothing to refcount
+    growScratch();
+    if (protCount_[i]++ == 0)
+        ++protectedDistinct_;
 }
 
 void
 Prefetcher::popFrontSlot()
 {
-    for (mem::BlockId b : slots_.front().blocks) {
-        auto it = protected_.find(b);
-        DEEPUM_ASSERT(it != protected_.end(),
-                      "protection refcount out of sync");
-        if (--it->second == 0)
-            protected_.erase(it);
+    for (const ProtEntry &e : slots_.front().blocks) {
+        if (e.idx != uvm::kNoBlockIndex)
+            dropProt(e.idx);
     }
     slots_.pop_front();
     if (chainDepth_ == 0) {
@@ -66,7 +76,7 @@ Prefetcher::popFrontSlot()
         active_ = false;
         paused_ = false;
         walk_.clear();
-        seen_.clear();
+        ++seenGen_;
     } else {
         --chainDepth_;
     }
@@ -77,13 +87,31 @@ Prefetcher::clearAllSlots()
 {
     while (!slots_.empty())
         popFrontSlot();
-    DEEPUM_ASSERT(protected_.empty(),
+    DEEPUM_ASSERT(protectedDistinct_ == 0,
                   "protected set nonempty after clearing slots");
     active_ = false;
     paused_ = false;
     chainDepth_ = 0;
     walk_.clear();
-    seen_.clear();
+    ++seenGen_;
+}
+
+void
+Prefetcher::onRangeUnregistered(mem::BlockId first, mem::BlockId end)
+{
+    // Scrub by the recorded protect-time index: the driver has
+    // already dropped the run, so the ids no longer resolve, but the
+    // slots are not reusable until a later registration — which
+    // cannot happen before this hook returns.
+    for (Slot &s : slots_) {
+        for (ProtEntry &e : s.blocks) {
+            if (e.block >= first && e.block < end &&
+                e.idx != uvm::kNoBlockIndex) {
+                dropProt(e.idx);
+                e.idx = uvm::kNoBlockIndex;
+            }
+        }
+    }
 }
 
 void
@@ -172,9 +200,9 @@ Prefetcher::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
     slots_[0].exec = cur;
 
     walk_.clear();
-    seen_.clear();
+    ++seenGen_;
     for (mem::BlockId b : blocks) {
-        if (!seen_.insert(b).second)
+        if (!markSeen(b))
             continue;
         // The faulted blocks are demand-migrating; protect them for
         // the current kernel and walk their successors.
@@ -197,7 +225,7 @@ Prefetcher::enterKernelTable(std::size_t slot)
     // start component: blocks covered by prefetching stop faulting
     // and would otherwise fall out of the chain (see freshTags()).
     for (mem::BlockId t : bt->freshTags(cfg_.freshEpochWindow)) {
-        if (!seen_.insert(t).second)
+        if (!markSeen(t))
             continue;
         bt->refresh(t);
         issue(slot, t);
@@ -250,7 +278,7 @@ Prefetcher::runChain()
         std::vector<mem::BlockId> succs = bt->successors(p);
         bool end_met = false;
         for (mem::BlockId s : succs) {
-            if (!seen_.insert(s).second)
+            if (!markSeen(s))
                 continue;
             issue(chainDepth_, s);
             if (s == bt->end())
@@ -310,15 +338,15 @@ Prefetcher::transitionChain()
                 paused_ = true;
                 ++chainPauses_;
                 walk_.clear();
-                seen_.clear();
+                ++seenGen_;
                 return true;
             }
             continue;
         }
 
         walk_.clear();
-        seen_.clear();
-        seen_.insert(bt->start());
+        ++seenGen_;
+        markSeen(bt->start());
         issue(chainDepth_, bt->start());
         walk_.push_back(bt->start());
         enterKernelTable(chainDepth_);
@@ -340,28 +368,41 @@ void
 Prefetcher::checkInvariants(sim::CheckContext &ctx) const
 {
     // Rebuild the refcounts from the slot lists; they must agree
-    // with protected_ exactly.
-    std::unordered_map<mem::BlockId, std::uint32_t> expected;
+    // with the dense protection array exactly.
+    std::vector<std::uint32_t> expected(protCount_.size(), 0);
+    std::size_t expected_distinct = 0;
     for (const Slot &s : slots_) {
-        for (mem::BlockId b : s.blocks)
-            ++expected[b];
+        for (const ProtEntry &e : s.blocks) {
+            if (e.idx == uvm::kNoBlockIndex)
+                continue;
+            ctx.require(e.idx < expected.size(),
+                        "slot entry for block %llu names slab index "
+                        "%u beyond the %zu-entry refcount array",
+                        static_cast<unsigned long long>(e.block),
+                        e.idx, expected.size());
+            if (e.idx >= expected.size())
+                continue;
+            ctx.require(e.idx < drv_.store().slabSize() &&
+                            drv_.store().idAt(e.idx) == e.block,
+                        "slot entry for block %llu holds stale slab "
+                        "index %u",
+                        static_cast<unsigned long long>(e.block),
+                        e.idx);
+            if (expected[e.idx]++ == 0)
+                ++expected_distinct;
+        }
     }
-    ctx.require(expected.size() == protected_.size(),
-                "protection map holds %zu blocks, slots reference "
+    ctx.require(expected_distinct == protectedDistinct_,
+                "protection array holds %zu blocks, slots reference "
                 "%zu",
-                protected_.size(), expected.size());
-    // det-ok(unordered-iter): order-independent audit
-    for (const auto &[b, n] : protected_) {
-        ctx.require(n > 0, "block %llu protected with zero refcount",
-                    static_cast<unsigned long long>(b));
-        auto it = expected.find(b);
-        ctx.require(it != expected.end() && it->second == n,
-                    "block %llu refcount %u disagrees with slot "
-                    "lists (%u)",
-                    static_cast<unsigned long long>(b), n,
-                    it == expected.end() ? 0 : it->second);
+                protectedDistinct_, expected_distinct);
+    for (std::size_t i = 0; i < protCount_.size(); ++i) {
+        if (protCount_[i] == expected[i])
+            continue;
+        ctx.fail("slab slot %zu refcount %u disagrees with slot "
+                 "lists (%u)",
+                 i, protCount_[i], expected[i]);
     }
-
     ctx.require(slots_.size() <= std::size_t(cfg_.lookaheadN) + 2,
                 "prediction window holds %zu slots, lookahead is %u",
                 slots_.size(), cfg_.lookaheadN);
@@ -380,24 +421,25 @@ Prefetcher::dumpState(std::ostream &os) const
     os << "Prefetcher{active=" << active_ << " paused=" << paused_
        << " chainDepth=" << chainDepth_ << " predCur=" << predCur_
        << " budget=" << budget_ << " slots=" << slots_.size()
-       << " protected=" << protected_.size()
+       << " protected=" << protectedDistinct_
        << " walk=" << walk_.size() << "}\n";
     for (std::size_t i = 0; i < slots_.size(); ++i) {
         os << "  slot " << i << ": exec=" << slots_[i].exec
            << " blocks=[";
         for (std::size_t j = 0; j < slots_[i].blocks.size(); ++j)
-            os << (j != 0 ? " " : "") << slots_[i].blocks[j];
+            os << (j != 0 ? " " : "") << slots_[i].blocks[j].block;
         os << "]\n";
     }
-    std::vector<mem::BlockId> prot;
-    prot.reserve(protected_.size());
-    // det-ok(unordered-iter): keys sorted before printing
-    for (const auto &[b, n] : protected_)
-        prot.push_back(b);
-    std::sort(prot.begin(), prot.end());
     os << "  protected:";
-    for (mem::BlockId b : prot)
-        os << " " << b << "x" << protected_.at(b);
+    // Slab-index order: deterministic, and the ids are live (slots
+    // with a refcount always back a registered block).
+    for (std::size_t i = 0; i < protCount_.size(); ++i) {
+        if (protCount_[i] != 0)
+            os << " "
+               << drv_.store().idAt(
+                      static_cast<uvm::BlockIndex>(i))
+               << "x" << protCount_[i];
+    }
     os << "\n";
 }
 

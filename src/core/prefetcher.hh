@@ -14,7 +14,11 @@
  *
  * The prefetcher also maintains the *protected set* — blocks
  * predicted to be used by the current and next N kernels — which the
- * DeepUM eviction policy consults (Section 5.1).
+ * DeepUM eviction policy consults (Section 5.1). Both the walk
+ * dedupe and the protection refcounts are dense arrays keyed by the
+ * driver's BlockStore slab indices: the dedupe is epoch-stamped (a
+ * generation bump is the O(1) per-activation clear) and the refcount
+ * probe the eviction policy hits per LRU step is one array read.
  */
 
 #pragma once
@@ -23,7 +27,6 @@
 #include <deque>
 #include <iosfwd>
 #include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "core/block_correlation_table.hh"
@@ -61,13 +64,27 @@ class Prefetcher
                              sim::Tick at);
 
     /**
+     * The driver dropped [first, end): release the protection held
+     * for those blocks and forget their slab indices before the
+     * slots can be reused by a later registration.
+     */
+    void onRangeUnregistered(mem::BlockId first, mem::BlockId end);
+
+    /**
      * @return true if @p b is predicted to be used by the current or
      * next N kernels (the pre-eviction protection test).
      */
     bool
     isProtected(mem::BlockId b) const
     {
-        return protected_.count(b) != 0;
+        return isProtectedIndex(drv_.store().find(b));
+    }
+
+    /** isProtected for a block already resolved to its slab slot. */
+    bool
+    isProtectedIndex(uvm::BlockIndex i) const
+    {
+        return i < protCount_.size() && protCount_[i] != 0;
     }
 
     /** Number of kernels the chain has advanced past the current. */
@@ -77,14 +94,14 @@ class Prefetcher
     bool chainActive() const { return active_; }
 
     /** Number of distinct blocks currently protected. */
-    std::size_t protectedCount() const { return protected_.size(); }
+    std::size_t protectedCount() const { return protectedDistinct_; }
 
     /**
      * Audit the protection bookkeeping (sim/validate.hh): the
-     * refcount map must equal the multiset union of the slot block
-     * lists, counts must be positive, the window must respect the
-     * lookahead bound, and the chain cursor must point into the
-     * window.
+     * refcount array must equal the multiset union of the slot block
+     * lists, live slot entries must name the slab slot their block
+     * still occupies, the window must respect the lookahead bound,
+     * and the chain cursor must point into the window.
      */
     void checkInvariants(sim::CheckContext &ctx) const;
 
@@ -92,11 +109,49 @@ class Prefetcher
     void dumpState(std::ostream &os) const;
 
   private:
+    /** One protected block plus its slab slot at protect time. */
+    struct ProtEntry {
+        mem::BlockId block = uvm::kNoBlock;
+        uvm::BlockIndex idx = uvm::kNoBlockIndex;
+    };
+
     /** One kernel's slot in the prediction window. */
     struct Slot {
         ExecId exec = kNoExecId;
-        std::vector<mem::BlockId> blocks; ///< protected for this slot
+        std::vector<ProtEntry> blocks; ///< protected for this slot
     };
+
+    /** Size the index-keyed scratch arrays to the driver's slab. */
+    void
+    growScratch()
+    {
+        std::size_t n = drv_.store().slabSize();
+        if (protCount_.size() < n) {
+            protCount_.resize(n, 0);
+            seenEpoch_.resize(n, 0);
+        }
+    }
+
+    /**
+     * Mark @p b visited in this activation; @return true on first
+     * visit. Unknown blocks count as first visits (the driver drops
+     * their enqueues; matches the former hash-set semantics).
+     */
+    bool
+    markSeen(mem::BlockId b)
+    {
+        uvm::BlockIndex i = drv_.store().find(b);
+        if (i == uvm::kNoBlockIndex)
+            return true;
+        growScratch();
+        if (seenEpoch_[i] == seenGen_)
+            return false;
+        seenEpoch_[i] = seenGen_;
+        return true;
+    }
+
+    /** Drop one protection reference on slab slot @p i. */
+    void dropProt(uvm::BlockIndex i);
 
     /** Add @p b to @p slot's protection list. */
     void protect(std::size_t slot, mem::BlockId b);
@@ -129,7 +184,11 @@ class Prefetcher
     const DeepUmConfig &cfg_;
 
     std::deque<Slot> slots_; ///< [0] = running kernel, then predicted
-    std::unordered_map<mem::BlockId, std::uint32_t> protected_;
+
+    /** Protection refcounts, keyed by slab index. */
+    std::vector<std::uint32_t> protCount_;
+    /** Slots with a nonzero protection refcount. */
+    std::size_t protectedDistinct_ = 0;
 
     /** Prefetch completion ticks awaiting their predicted launch. */
     std::unordered_map<ExecId, std::vector<sim::Tick>> pendingDone_;
@@ -141,7 +200,9 @@ class Prefetcher
     ExecHistory predHist_{kNoExecId, kNoExecId, kNoExecId};
     std::uint32_t chainDepth_ = 0;   ///< slots_ index being filled
     std::deque<mem::BlockId> walk_;  ///< blocks whose succs to visit
-    std::unordered_set<mem::BlockId> seen_; ///< per-kernel walk dedupe
+    /** Epoch-stamped walk dedupe, keyed by slab index. */
+    std::vector<std::uint64_t> seenEpoch_;
+    std::uint64_t seenGen_ = 1;      ///< current walk generation
     std::uint32_t budget_ = 0;       ///< enqueue cap per activation
 
     sim::Scalar chainsStarted_;

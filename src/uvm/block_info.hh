@@ -15,6 +15,15 @@ namespace deepum::uvm {
 /** Sentinel for "no block". */
 constexpr mem::BlockId kNoBlock = ~mem::BlockId(0);
 
+/**
+ * Dense slot index of a block inside the driver's BlockStore slab.
+ * 32 bits cover 2^32 blocks x 2 MiB = 8 EiB of UM space.
+ */
+using BlockIndex = std::uint32_t;
+
+/** Sentinel for "no slab slot". */
+constexpr BlockIndex kNoBlockIndex = ~BlockIndex(0);
+
 /** Where a UM block's backing data currently lives. */
 enum class Loc : std::uint8_t {
     Unpopulated, ///< never touched, or invalidated; zero-fill on fault
@@ -33,10 +42,19 @@ struct BlockInfo {
      */
     std::uint64_t inactiveBytes = 0;
     bool prefetched = false;         ///< resident via prefetch, not yet used
+    bool pinned = false;             ///< held by in-flight fault handling
     std::uint32_t prefetchExecId = 0; ///< exec ID that predicted it
     bool queuedFault = false;        ///< sitting in the fault queue
     bool queuedPrefetch = false;     ///< sitting in the prefetch queue
     std::uint64_t migrateSeq = 0;    ///< global order of last migration
+
+    /**
+     * Intrusive least-recently-migrated list links: slab indices of
+     * the neighbouring resident blocks (kNoBlockIndex at the ends and
+     * while not resident). Owned by BlockStore's lruPushBack/lruErase.
+     */
+    BlockIndex lruPrev = kNoBlockIndex;
+    BlockIndex lruNext = kNoBlockIndex;
 
     /** Every populated byte belongs to an inactive PyTorch block. */
     bool

@@ -1,7 +1,7 @@
 #include "uvm/driver.hh"
 
-#include <algorithm>
 #include <ostream>
+#include <unordered_set>
 
 #include "sim/logging.hh"
 #include "sim/trace.hh"
@@ -102,50 +102,41 @@ Driver::registerRange(mem::VAddr va, std::uint64_t bytes)
 {
     if (bytes == 0)
         return;
-    for (mem::BlockId b = mem::firstBlock(va, bytes),
-                      e = mem::endBlock(va, bytes);
-         b != e; ++b) {
-        BlockInfo bi;
-        bi.pages = static_cast<std::uint32_t>(
+    mem::BlockId first = mem::firstBlock(va, bytes);
+    mem::BlockId end = mem::endBlock(va, bytes);
+    BlockIndex base = store_.registerRun(first, end);
+    BlockIndex i = base;
+    for (mem::BlockId b = first; b != end; ++b, ++i)
+        store_.at(i).pages = static_cast<std::uint32_t>(
             mem::pagesInBlock(b, va, bytes));
-        auto [it, inserted] = blocks_.emplace(b, bi);
-        (void)it;
-        if (!inserted)
-            sim::panic("registerRange: block %llu already registered",
-                       static_cast<unsigned long long>(b));
-    }
 }
 
 void
 Driver::unregisterRange(mem::VAddr va, std::uint64_t bytes)
 {
-    for (mem::BlockId b = mem::firstBlock(va, bytes),
-                      e = mem::endBlock(va, bytes);
-         b != e; ++b) {
-        auto it = blocks_.find(b);
-        if (it == blocks_.end())
-            sim::panic("unregisterRange: unknown block %llu",
-                       static_cast<unsigned long long>(b));
-        if (ledger_ != nullptr)
-            ledger_->onBlockFreed(b, curTick(),
-                                  it->second.loc == Loc::Device);
-        if (it->second.loc == Loc::Device) {
-            frames_.release(it->second.pages);
-            auto lp = lruPos_.find(b);
-            if (lp != lruPos_.end()) {
-                lru_.erase(lp->second);
-                lruPos_.erase(lp);
-            }
-        }
-        outstanding_.erase(b);
-        blocks_.erase(it);
-    }
     mem::BlockId first = mem::firstBlock(va, bytes);
     mem::BlockId end = mem::endBlock(va, bytes);
-    if (first != end) {
-        for (auto *l : listeners_)
-            l->onRangeUnregistered(first, end);
+    if (first == end)
+        return;
+    const BlockStore::Range *r = store_.rangeContaining(first);
+    if (r == nullptr)
+        sim::panic("unregisterRange: unknown block %llu",
+                   static_cast<unsigned long long>(first));
+    BlockIndex i = r->base;
+    for (mem::BlockId b = first; b != end; ++b, ++i) {
+        BlockInfo &bi = store_.at(i);
+        if (ledger_ != nullptr)
+            ledger_->onBlockFreed(b, curTick(),
+                                  bi.loc == Loc::Device);
+        if (bi.loc == Loc::Device) {
+            frames_.release(bi.pages);
+            store_.lruErase(i);
+        }
+        unpin(bi);
     }
+    store_.unregisterRun(first, end);
+    for (auto *l : listeners_)
+        l->onRangeUnregistered(first, end);
 }
 
 void
@@ -157,21 +148,21 @@ Driver::markInactiveRange(mem::VAddr va, std::uint64_t bytes,
     for (mem::BlockId b = mem::firstBlock(va, bytes),
                       e = mem::endBlock(va, bytes);
          b != e; ++b) {
-        auto it = blocks_.find(b);
-        if (it == blocks_.end())
+        BlockIndex i = store_.find(b);
+        if (i == kNoBlockIndex)
             sim::panic("markInactiveRange: unknown block %llu",
                        static_cast<unsigned long long>(b));
+        BlockInfo &bi = store_.at(i);
         std::uint64_t n = mem::bytesInBlock(b, va, bytes);
         if (inactive) {
-            it->second.inactiveBytes += n;
-            DEEPUM_ASSERT(it->second.inactiveBytes <=
-                              std::uint64_t(it->second.pages) *
-                                  mem::kPageSize,
+            bi.inactiveBytes += n;
+            DEEPUM_ASSERT(bi.inactiveBytes <=
+                              std::uint64_t(bi.pages) * mem::kPageSize,
                           "inactive bytes exceed block bytes");
         } else {
-            DEEPUM_ASSERT(it->second.inactiveBytes >= n,
+            DEEPUM_ASSERT(bi.inactiveBytes >= n,
                           "activating bytes that were not inactive");
-            it->second.inactiveBytes -= n;
+            bi.inactiveBytes -= n;
         }
     }
 }
@@ -184,10 +175,10 @@ bool
 Driver::enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id,
                         std::uint32_t depth)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    BlockIndex i = store_.find(block);
+    if (i == kNoBlockIndex)
         return false;
-    BlockInfo &bi = it->second;
+    BlockInfo &bi = store_.at(i);
     if (bi.loc == Loc::Device || bi.queuedPrefetch || bi.queuedFault)
         return false;
     if (!prefetchQueue_.push(MigrateCmd{block, exec_id, depth}))
@@ -237,11 +228,11 @@ Driver::preEvictOne()
 const BlockInfo &
 Driver::blockInfo(mem::BlockId b) const
 {
-    auto it = blocks_.find(b);
-    if (it == blocks_.end())
+    BlockIndex i = store_.find(b);
+    if (i == kNoBlockIndex)
         sim::panic("blockInfo: unknown block %llu",
                    static_cast<unsigned long long>(b));
-    return it->second;
+    return store_.at(i);
 }
 
 // --------------------------------------------------------------------
@@ -251,8 +242,8 @@ Driver::blockInfo(mem::BlockId b) const
 bool
 Driver::isResident(mem::BlockId block) const
 {
-    auto it = blocks_.find(block);
-    return it != blocks_.end() && it->second.loc == Loc::Device;
+    BlockIndex i = store_.find(block);
+    return i != kNoBlockIndex && store_.at(i).loc == Loc::Device;
 }
 
 void
@@ -284,16 +275,17 @@ Driver::onKernelEnd(const gpu::KernelInfo &k)
 void
 Driver::onBlockAccess(mem::BlockId block)
 {
-    auto it = blocks_.find(block);
-    if (it == blocks_.end())
+    BlockIndex i = store_.find(block);
+    if (i == kNoBlockIndex)
         return;
-    if (it->second.prefetched) {
-        it->second.prefetched = false;
+    BlockInfo &bi = store_.at(i);
+    if (bi.prefetched) {
+        bi.prefetched = false;
         ++prefetchUseful_;
         if (ledger_ != nullptr)
             ledger_->onPrefetchTouched(block, curTick());
         for (auto *l : listeners_)
-            l->onPrefetchUseful(block, it->second.prefetchExecId);
+            l->onPrefetchUseful(block, bi.prefetchExecId);
     }
     for (auto *l : listeners_)
         l->onBlockAccessed(block);
@@ -314,14 +306,24 @@ Driver::handleFaults()
     ++faultBatches_;
 
     // Step 2 of Figure 3: dedupe entries and group them by UM block,
-    // preserving first-fault order.
+    // preserving first-fault order. The dedupe is an epoch-stamped
+    // array keyed by slab index — bumping the epoch is the O(1)
+    // "clear" between batches.
+    if (faultSeen_.size() < store_.slabSize())
+        faultSeen_.resize(store_.slabSize(), 0);
+    ++faultEpoch_;
     std::vector<mem::BlockId> ordered;
-    std::unordered_set<mem::BlockId> seen;
     std::uint64_t pages = 0;
     for (const auto &e : entries) {
         pages += e.pages;
-        if (seen.insert(e.block).second)
+        BlockIndex i = store_.find(e.block);
+        if (i == kNoBlockIndex)
+            sim::panic("fault on unregistered block %llu",
+                       static_cast<unsigned long long>(e.block));
+        if (faultSeen_[i] != faultEpoch_) {
+            faultSeen_[i] = faultEpoch_;
             ordered.push_back(e.block);
+        }
     }
     pageFaults_ += pages;
     faultedBlocks_ += ordered.size();
@@ -345,16 +347,21 @@ Driver::handleFaults()
             l->onFaultBatch(ordered);
 
         for (mem::BlockId b : ordered) {
-            auto it = blocks_.find(b);
-            if (it == blocks_.end())
+            // Re-probe: a listener or a queued free may have dropped
+            // the block between drain and dispatch.
+            BlockIndex i = store_.find(b);
+            if (i == kNoBlockIndex)
                 sim::panic("fault on unregistered block %llu",
                            static_cast<unsigned long long>(b));
-            BlockInfo &bi = it->second;
+            BlockInfo &bi = store_.at(i);
             if (bi.loc == Loc::Device)
                 continue; // a prefetch landed it meanwhile
             if (ledger_ != nullptr)
                 ledger_->onDemandFault(b, curTick());
-            outstanding_.insert(b);
+            if (!bi.pinned) {
+                bi.pinned = true;
+                ++pinnedCount_;
+            }
             if (!bi.queuedFault) {
                 bool ok = faultQueue_.push(MigrateCmd{b, 0});
                 DEEPUM_ASSERT(ok, "fault queue overflow");
@@ -366,7 +373,7 @@ Driver::handleFaults()
                         curTick(), faultQueue_.size());
         DEEPUM_VALIDATE_HOOK("fault-batch");
 
-        if (outstanding_.empty()) {
+        if (pinnedCount_ == 0) {
             // Everything already resident: replay immediately.
             if (engine_ != nullptr && engine_->stalled() &&
                 !replayPending_) {
@@ -390,8 +397,10 @@ Driver::handleFaults()
 void
 Driver::resolveFault(mem::BlockId b)
 {
-    outstanding_.erase(b);
-    if (!outstanding_.empty())
+    BlockIndex i = store_.find(b);
+    if (i != kNoBlockIndex)
+        unpin(store_.at(i));
+    if (pinnedCount_ != 0)
         return;
     if (engine_ != nullptr && engine_->stalled() && !replayPending_) {
         replayPending_ = true;
@@ -424,14 +433,14 @@ Driver::migrationStep()
             return;
         }
 
-        auto it = blocks_.find(cmd.block);
-        if (it == blocks_.end()) {
+        BlockIndex idx = store_.find(cmd.block);
+        if (idx == kNoBlockIndex) {
             // Freed while queued.
             if (!demand)
                 ++prefetchDropped_;
             continue;
         }
-        BlockInfo &bi = it->second;
+        BlockInfo &bi = store_.at(idx);
         if (demand)
             bi.queuedFault = false;
         else
@@ -509,17 +518,17 @@ Driver::migrationStep()
             DEEPUM_ASSERT(inFlightPages_ >= pages,
                           "in-flight page accounting underflow");
             inFlightPages_ -= pages;
-            auto bit = blocks_.find(b);
-            if (bit == blocks_.end()) {
+            BlockIndex i = store_.find(b);
+            if (i == kNoBlockIndex) {
                 // Freed mid-flight: hand the frames back.
                 frames_.release(pages);
             } else {
-                BlockInfo &info = bit->second;
+                BlockInfo &info = store_.at(i);
                 info.loc = Loc::Device;
                 info.migrateSeq = ++migrateSeq_;
                 info.prefetched = !demand;
                 info.prefetchExecId = exec_id;
-                lruPos_[b] = lru_.insert(lru_.end(), b);
+                store_.lruPushBack(i);
                 if (htod) {
                     ++migratedBlocks_;
                     migratedPages_ += pages;
@@ -560,16 +569,13 @@ Driver::makeRoom(std::uint64_t pages, sim::Tick &t, bool demand)
 void
 Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
 {
-    auto it = blocks_.find(victim);
-    DEEPUM_ASSERT(it != blocks_.end(), "evicting unknown block");
-    BlockInfo &bi = it->second;
+    BlockIndex i = store_.find(victim);
+    DEEPUM_ASSERT(i != kNoBlockIndex, "evicting unknown block");
+    BlockInfo &bi = store_.at(i);
     DEEPUM_ASSERT(bi.loc == Loc::Device, "evicting non-resident block");
-    DEEPUM_ASSERT(!isPinned(victim), "evicting a pinned block");
+    DEEPUM_ASSERT(!bi.pinned, "evicting a pinned block");
 
-    auto lp = lruPos_.find(victim);
-    DEEPUM_ASSERT(lp != lruPos_.end(), "resident block missing from LRU");
-    lru_.erase(lp->second);
-    lruPos_.erase(lp);
+    store_.lruErase(i);
 
     sim::Tick evict_start = t;
 
@@ -637,31 +643,67 @@ Driver::evictBlock(mem::BlockId victim, sim::Tick &t, bool demand)
 void
 Driver::checkInvariants(sim::CheckContext &ctx) const
 {
+    // The slab itself first: run table, free list, backrefs, link
+    // symmetry. Everything below may rely on it.
+    store_.checkInvariants(ctx);
+
+    // Walk the intrusive LRU once, marking membership and checking
+    // residency plus migrateSeq order (oldest migration first).
+    std::vector<char> in_lru(store_.slabSize(), 0);
+    std::uint64_t prev_seq = 0;
+    bool have_prev = false;
+    for (BlockIndex i = store_.lruHead(); i != kNoBlockIndex;
+         i = store_.at(i).lruNext) {
+        if (i >= store_.slabSize() || in_lru[i])
+            break; // store_.checkInvariants reported the corruption
+        in_lru[i] = 1;
+        const BlockInfo &bi = store_.at(i);
+        ctx.require(bi.loc == Loc::Device,
+                    "LRU block %llu not resident",
+                    static_cast<unsigned long long>(store_.idAt(i)));
+        ctx.require(bi.migrateSeq <= migrateSeq_,
+                    "block %llu migrateSeq %llu beyond counter %llu",
+                    static_cast<unsigned long long>(store_.idAt(i)),
+                    static_cast<unsigned long long>(bi.migrateSeq),
+                    static_cast<unsigned long long>(migrateSeq_));
+        ctx.require(!have_prev || bi.migrateSeq > prev_seq,
+                    "LRU order broken: block %llu migrateSeq %llu "
+                    "not after predecessor's %llu",
+                    static_cast<unsigned long long>(store_.idAt(i)),
+                    static_cast<unsigned long long>(bi.migrateSeq),
+                    static_cast<unsigned long long>(prev_seq));
+        prev_seq = bi.migrateSeq;
+        have_prev = true;
+    }
+
     // Residency vs FramePool: every frame in use belongs to a
     // resident block or to a migration whose completion event is in
     // flight. This is the double-count/leak check the related UVM
     // oversubscription studies motivate.
     std::uint64_t device_pages = 0;
     std::size_t device_blocks = 0;
-    // det-ok(unordered-iter): order-independent audit accumulation
-    for (const auto &[b, bi] : blocks_) {
+    std::uint64_t pinned_blocks = 0;
+    store_.forEachBlock([&](mem::BlockId b, BlockIndex i) {
+        const BlockInfo &bi = store_.at(i);
         if (bi.loc == Loc::Device) {
             device_pages += bi.pages;
             ++device_blocks;
-            ctx.require(lruPos_.count(b) != 0,
-                        "resident block %llu missing from LRU index",
+            ctx.require(in_lru[i] != 0,
+                        "resident block %llu missing from LRU",
                         static_cast<unsigned long long>(b));
         } else {
-            ctx.require(lruPos_.count(b) == 0,
-                        "non-resident block %llu present in LRU index",
+            ctx.require(in_lru[i] == 0,
+                        "non-resident block %llu present in LRU",
                         static_cast<unsigned long long>(b));
         }
+        if (bi.pinned)
+            ++pinned_blocks;
         ctx.require(bi.inactiveBytes <=
                         std::uint64_t(bi.pages) * mem::kPageSize,
                     "block %llu inactive bytes %llu exceed its size",
                     static_cast<unsigned long long>(b),
                     static_cast<unsigned long long>(bi.inactiveBytes));
-    }
+    });
     ctx.require(device_pages + inFlightPages_ == frames_.usedPages(),
                 "frame accounting drift: %llu resident + %llu in "
                 "flight != %llu frames used",
@@ -671,53 +713,14 @@ Driver::checkInvariants(sim::CheckContext &ctx) const
     ctx.require(migBusy_ || inFlightPages_ == 0,
                 "migration thread idle with %llu pages in flight",
                 static_cast<unsigned long long>(inFlightPages_));
-
-    // LRU list vs position index vs migration-order stamps.
-    ctx.require(lru_.size() == lruPos_.size(),
-                "LRU list holds %zu blocks, index holds %zu",
-                lru_.size(), lruPos_.size());
-    ctx.require(lru_.size() == device_blocks,
+    ctx.require(store_.lruSize() == device_blocks,
                 "LRU list holds %zu blocks, %zu are resident",
-                lru_.size(), device_blocks);
-    std::uint64_t prev_seq = 0;
-    bool have_prev = false;
-    for (auto it = lru_.begin(); it != lru_.end(); ++it) {
-        auto bit = blocks_.find(*it);
-        ctx.require(bit != blocks_.end(),
-                    "LRU block %llu not registered",
-                    static_cast<unsigned long long>(*it));
-        if (bit == blocks_.end())
-            continue;
-        ctx.require(bit->second.loc == Loc::Device,
-                    "LRU block %llu not resident",
-                    static_cast<unsigned long long>(*it));
-        auto lp = lruPos_.find(*it);
-        ctx.require(lp != lruPos_.end() && lp->second == it,
-                    "LRU index for block %llu points elsewhere",
-                    static_cast<unsigned long long>(*it));
-        ctx.require(bit->second.migrateSeq <= migrateSeq_,
-                    "block %llu migrateSeq %llu beyond counter %llu",
-                    static_cast<unsigned long long>(*it),
-                    static_cast<unsigned long long>(
-                        bit->second.migrateSeq),
-                    static_cast<unsigned long long>(migrateSeq_));
-        ctx.require(!have_prev || bit->second.migrateSeq > prev_seq,
-                    "LRU order broken: block %llu migrateSeq %llu "
-                    "not after predecessor's %llu",
-                    static_cast<unsigned long long>(*it),
-                    static_cast<unsigned long long>(
-                        bit->second.migrateSeq),
-                    static_cast<unsigned long long>(prev_seq));
-        prev_seq = bit->second.migrateSeq;
-        have_prev = true;
-    }
-
-    // Pinned (fault-outstanding) blocks must be registered.
-    // det-ok(unordered-iter): order-independent audit accumulation
-    for (mem::BlockId b : outstanding_)
-        ctx.require(blocks_.count(b) != 0,
-                    "pinned block %llu not registered",
-                    static_cast<unsigned long long>(b));
+                store_.lruSize(), device_blocks);
+    ctx.require(pinned_blocks == pinnedCount_,
+                "pinned counter %llu disagrees with %llu pinned "
+                "records",
+                static_cast<unsigned long long>(pinnedCount_),
+                static_cast<unsigned long long>(pinned_blocks));
 
     // Queued-flag agreement: a set flag means the block really is in
     // the respective queue. (The reverse is legal: a queued command
@@ -728,8 +731,8 @@ Driver::checkInvariants(sim::CheckContext &ctx) const
     std::unordered_set<mem::BlockId> in_prefetch;
     prefetchQueue_.forEach(
         [&](const MigrateCmd &c) { in_prefetch.insert(c.block); });
-    // det-ok(unordered-iter): order-independent audit accumulation
-    for (const auto &[b, bi] : blocks_) {
+    store_.forEachBlock([&](mem::BlockId b, BlockIndex i) {
+        const BlockInfo &bi = store_.at(i);
         ctx.require(!bi.queuedFault || in_fault.count(b) != 0,
                     "block %llu flagged fault-queued but absent from "
                     "the fault queue",
@@ -738,14 +741,14 @@ Driver::checkInvariants(sim::CheckContext &ctx) const
                     "block %llu flagged prefetch-queued but absent "
                     "from the prefetch queue",
                     static_cast<unsigned long long>(b));
-    }
+    });
 }
 
 void
 Driver::dumpState(std::ostream &os) const
 {
-    os << "Driver{blocks=" << blocks_.size() << " lru=" << lru_.size()
-       << " outstanding=" << outstanding_.size()
+    os << "Driver{blocks=" << store_.size()
+       << " lru=" << store_.lruSize() << " pinned=" << pinnedCount_
        << " faultQueue=" << faultQueue_.size()
        << " prefetchQueue=" << prefetchQueue_.size()
        << " migBusy=" << migBusy_ << " inFlightPages=" << inFlightPages_
@@ -753,15 +756,11 @@ Driver::dumpState(std::ostream &os) const
     os << "  frames: used=" << frames_.usedPages()
        << " free=" << frames_.freePages()
        << " total=" << frames_.totalPages() << "\n";
+    store_.dumpState(os);
 
-    std::vector<mem::BlockId> ids;
-    ids.reserve(blocks_.size());
-    // det-ok(unordered-iter): keys sorted before printing
-    for (const auto &[b, bi] : blocks_)
-        ids.push_back(b);
-    std::sort(ids.begin(), ids.end());
-    for (mem::BlockId b : ids) {
-        const BlockInfo &bi = blocks_.at(b);
+    // forEachBlock iterates the sorted run table: BlockId order.
+    store_.forEachBlock([&](mem::BlockId b, BlockIndex i) {
+        const BlockInfo &bi = store_.at(i);
         os << "  block " << b << ": pages=" << bi.pages << " loc="
            << (bi.loc == Loc::Device
                    ? "device"
@@ -770,10 +769,10 @@ Driver::dumpState(std::ostream &os) const
            << (bi.prefetched ? " prefetched" : "")
            << (bi.queuedFault ? " qF" : "")
            << (bi.queuedPrefetch ? " qP" : "")
-           << (outstanding_.count(b) != 0 ? " pinned" : "") << "\n";
-    }
+           << (bi.pinned ? " pinned" : "") << "\n";
+    });
     os << "  lru:";
-    for (mem::BlockId b : lru_)
+    for (mem::BlockId b : store_.lruOrder())
         os << " " << b;
     os << "\n";
 }

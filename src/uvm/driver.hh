@@ -15,16 +15,19 @@
  *  - the fault-handling thread (drain buffer -> fault queue, replay),
  *  - the migration thread (serves the fault queue first, then the
  *    prefetch queue; owns the PCIe link).
+ *
+ * Per-block metadata lives in a dense BlockStore (block_store.hh):
+ * BlockId -> slab index is one range probe, the LRU is intrusive
+ * indices inside BlockInfo, and "pinned by an outstanding fault" is a
+ * bit in the record plus a counter — no hashing anywhere on the
+ * fault path.
  */
 
 #pragma once
 
 #include <cstdint>
 #include <iosfwd>
-#include <list>
 #include <memory>
-#include <unordered_map>
-#include <unordered_set>
 #include <vector>
 
 #include "gpu/backend.hh"
@@ -37,6 +40,7 @@
 #include "sim/spsc_queue.hh"
 #include "sim/stats.hh"
 #include "uvm/block_info.hh"
+#include "uvm/block_store.hh"
 #include "uvm/eviction_policy.hh"
 #include "uvm/listener.hh"
 
@@ -134,13 +138,21 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     const BlockInfo &blockInfo(mem::BlockId b) const;
 
     /** True if the driver manages @p b. */
-    bool knowsBlock(mem::BlockId b) const { return blocks_.count(b) != 0; }
+    bool knowsBlock(mem::BlockId b) const { return store_.contains(b); }
+
+    /** The dense block store (policies iterate it by index). */
+    const BlockStore &store() const { return store_; }
 
     /** Resident blocks in migration order (oldest first). */
-    const std::list<mem::BlockId> &lruOrder() const { return lru_; }
+    BlockStore::LruView lruOrder() const { return store_.lruOrder(); }
 
     /** Blocks pinned by in-flight fault handling. */
-    bool isPinned(mem::BlockId b) const { return outstanding_.count(b) != 0; }
+    bool
+    isPinned(mem::BlockId b) const
+    {
+        BlockIndex i = store_.find(b);
+        return i != kNoBlockIndex && store_.at(i).pinned;
+    }
 
     mem::FramePool &frames() { return frames_; }
     const mem::FramePool &frames() const { return frames_; }
@@ -156,10 +168,11 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     void setValidator(sim::Validator *v) { validator_ = v; }
 
     /**
-     * Audit the residency bookkeeping: per-block residency vs the
-     * FramePool counts (with in-flight migrations accounted), the
-     * LRU list / position-map / migrateSeq-order consistency, pinned
-     * blocks being known, and queued-flag vs queue-content agreement.
+     * Audit the residency bookkeeping: the BlockStore slab itself
+     * (run table, free list, backrefs, intrusive links), per-block
+     * residency vs the FramePool counts (with in-flight migrations
+     * accounted), LRU membership/migrateSeq order, the pinned-bit
+     * counter, and queued-flag vs queue-content agreement.
      */
     void checkInvariants(sim::CheckContext &ctx) const;
 
@@ -195,20 +208,26 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     /** A demand-faulted block became resident (or already was). */
     void resolveFault(mem::BlockId b);
 
+    /** Clear @p bi's pinned bit (no-op when clear). */
+    void
+    unpin(BlockInfo &bi)
+    {
+        if (bi.pinned) {
+            bi.pinned = false;
+            --pinnedCount_;
+        }
+    }
+
     const gpu::TimingConfig &cfg_;
     gpu::FaultBuffer &fb_;
     gpu::PcieLink &link_;
     mem::FramePool &frames_;
     gpu::GpuEngine *engine_ = nullptr;
 
-    std::unordered_map<mem::BlockId, BlockInfo> blocks_;
-    std::list<mem::BlockId> lru_; ///< resident, oldest migration first
-    std::unordered_map<mem::BlockId, std::list<mem::BlockId>::iterator>
-        lruPos_;
+    BlockStore store_;
 
     sim::SpscQueue<MigrateCmd> faultQueue_;
     sim::SpscQueue<MigrateCmd> prefetchQueue_;
-    std::unordered_set<mem::BlockId> outstanding_;
 
     std::vector<DriverListener *> listeners_;
     std::unique_ptr<EvictionPolicy> policy_;
@@ -222,6 +241,16 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
     std::uint64_t migrateSeq_ = 0;
     /** Frames reserved for migrations whose completion is in flight. */
     std::uint64_t inFlightPages_ = 0;
+    /** Blocks with the pinned bit set (outstanding demand faults). */
+    std::uint64_t pinnedCount_ = 0;
+
+    /**
+     * Epoch-stamped per-batch fault dedupe, keyed by slab index: a
+     * slot seen in the current epoch is a duplicate. Replaces a
+     * per-batch hash set with one array read/write per entry.
+     */
+    std::vector<std::uint64_t> faultSeen_;
+    std::uint64_t faultEpoch_ = 0;
 
     // Statistics (paper Table 5, Figure 10 inputs).
     sim::Scalar pageFaults_;

@@ -8,9 +8,11 @@ mem::BlockId
 LruMigratedPolicy::pickVictim(const Driver &drv, bool demand)
 {
     (void)demand; // the stock driver treats both paths the same
-    for (mem::BlockId b : drv.lruOrder()) {
-        if (!drv.isPinned(b))
-            return b;
+    const BlockStore &st = drv.store();
+    for (BlockIndex i = st.lruHead(); i != kNoBlockIndex;
+         i = st.at(i).lruNext) {
+        if (!st.at(i).pinned)
+            return st.idAt(i);
     }
     return kNoBlock;
 }

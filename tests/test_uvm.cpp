@@ -98,6 +98,41 @@ TEST(UvmDriverDeath, DoubleRegisterPanics)
                  "already registered");
 }
 
+TEST(UvmDriverDeath, BlockInfoOfUnknownBlockPanics)
+{
+    World w;
+    w.reg(1);
+    // One past the only registered run: the dense-store probe must
+    // miss and blockInfo must refuse to fabricate a record.
+    EXPECT_DEATH(w.drv.blockInfo(mem::blockOf(mem::kUmBase) + 1),
+                 "blockInfo: unknown block");
+}
+
+TEST(UvmDriverDeath, UnregisterOfUnknownRangePanics)
+{
+    World w;
+    EXPECT_DEATH(
+        w.drv.unregisterRange(mem::kUmBase, mem::kBlockBytes),
+        "unregisterRange: unknown block");
+}
+
+TEST(UvmDriver, DenseStoreMissesOutsideRegisteredRuns)
+{
+    World w;
+    w.reg(2, mem::kUmBase);
+    w.reg(2, mem::kUmBase + 8 * mem::kBlockBytes);
+    mem::BlockId b0 = mem::blockOf(mem::kUmBase);
+    // Probes inside either run resolve; the gap and both flanks miss.
+    EXPECT_TRUE(w.drv.knowsBlock(b0 + 1));
+    EXPECT_TRUE(w.drv.knowsBlock(b0 + 8));
+    EXPECT_FALSE(w.drv.knowsBlock(b0 - 1));
+    EXPECT_FALSE(w.drv.knowsBlock(b0 + 2));
+    EXPECT_FALSE(w.drv.knowsBlock(b0 + 7));
+    EXPECT_FALSE(w.drv.knowsBlock(b0 + 10));
+    // Unknown blocks are unpinned, not an error.
+    EXPECT_FALSE(w.drv.isPinned(b0 + 2));
+}
+
 TEST(UvmDriver, FirstTouchFaultsAndZeroFills)
 {
     World w;

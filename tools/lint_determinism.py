@@ -26,6 +26,16 @@ behaviour:
                     names keep StatSet::dumpJson diffs and the
                     compare_stats.py tolerance patterns meaningful)
 
+Deterministic-by-construction iteration needs no suppression and is
+the preferred fix for an unordered-iter finding: the uvm::BlockStore
+patterns — walking intrusive prev/next slab indices (the LRU), dense
+index-keyed arrays, or the sorted run table (forEachBlock's BlockId
+order) — depend only on the operation history, never on hash seeds or
+allocation addresses, so the lint deliberately does not flag them.
+The driver's former unordered_map/list bookkeeping carried three
+det-ok(unordered-iter) suppressions; its BlockStore replacement
+carries none.
+
 Suppressions, in decreasing preference:
   * a `det-ok(<rule>): <reason>` comment on the flagged line or the
     line directly above it;
