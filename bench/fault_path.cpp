@@ -11,7 +11,16 @@
  *     BlockStore rewrite targets (the whole Figure-3 pipeline probes
  *     block metadata on every drain, dedupe, evict, and map step).
  *
- *  2. Store-vs-map A/B: the same mixed probe/LRU-touch/flag-flip op
+ *  2. Correlation-heavy end-to-end: the same oversubscribed stack
+ *     with the full DeepUM machinery attached and a *repeating*
+ *     kernel sequence, so the correlator records successor pairs on
+ *     every fault batch and the prefetcher chain-walks the block
+ *     correlation tables continuously — the workload the dense
+ *     correlation-engine rewrite targets. Uses only the stable DeepUm
+ *     facade, so the same source builds against the pre-rewrite core
+ *     to take the baseline.
+ *
+ *  3. Store-vs-map A/B: the same mixed probe/LRU-touch/flag-flip op
  *     sequence replayed against the production uvm::BlockStore and
  *     against the pre-rewrite bookkeeping (std::unordered_map records
  *     + std::list LRU + a BlockId->iterator side map), with a
@@ -28,7 +37,8 @@
  *
  * Usage:
  *   fault_path [--kernels N] [--blocks N] [--gpu-blocks N]
- *              [--micro-ops N] [--json file] [--stats-json file]
+ *              [--corr-kernels N] [--micro-ops N] [--json file]
+ *              [--stats-json file] [--corr-stats-json file]
  */
 
 #include <chrono>
@@ -43,6 +53,8 @@
 #include <vector>
 
 #include "bench/common.hh"
+#include "core/deepum.hh"
+#include "core/execution_id_table.hh"
 #include "gpu/fault_buffer.hh"
 #include "gpu/gpu_engine.hh"
 #include "gpu/pcie_link.hh"
@@ -132,6 +144,103 @@ runEndToEnd(std::uint64_t kernels, std::uint64_t totalBlocks,
     r.wallSec = secondsSince(t0);
     r.pageFaults = stats.get("uvm.pageFaults");
     r.evictedBlocks = stats.get("uvm.evictedBlocks");
+    r.kernels = kernels;
+    r.simTicks = eq.now();
+    r.faultsPerSec = r.wallSec > 0
+                         ? static_cast<double>(r.pageFaults) / r.wallSec
+                         : 0.0;
+    if (!statsJson.empty()) {
+        std::ofstream os(statsJson);
+        if (!os) {
+            std::fprintf(stderr, "cannot open %s\n",
+                         statsJson.c_str());
+            std::exit(1);
+        }
+        stats.dumpJson(os);
+    }
+    return r;
+}
+
+/** Correlation-heavy result: the DeepUM engine on the hot path. */
+struct CorrHeavy {
+    std::uint64_t pageFaults = 0;
+    std::uint64_t prefetchIssued = 0;
+    std::uint64_t blocksIssued = 0;
+    std::uint64_t chainsStarted = 0;
+    std::uint64_t kernels = 0;
+    sim::Tick simTicks = 0;
+    double wallSec = 0;
+    double faultsPerSec = 0;
+};
+
+/**
+ * The same oversubscribed sliding-window load as runEndToEnd, but
+ * with DeepUM attached and the window sequence repeating every
+ * iteration: the execution ID stream loops, so after the first
+ * iteration every fault batch drives record() into a learned block
+ * table and restarts a chain walk that prefetches kernels ahead.
+ * Steady state keeps all three correlation-engine hot paths busy at
+ * once — record (correlator), successors + exec predict (chain
+ * walk), and the protection bookkeeping (eviction policy).
+ */
+CorrHeavy
+runCorrHeavy(std::uint64_t kernels, std::uint64_t totalBlocks,
+             std::uint64_t gpuBlocks, const std::string &statsJson)
+{
+    sim::EventQueue eq;
+    sim::StatSet stats;
+    gpu::TimingConfig cfg;
+    gpu::FaultBuffer fb;
+    gpu::PcieLink link{cfg};
+    mem::FramePool frames{gpuBlocks * mem::kPagesPerBlock};
+    gpu::GpuEngine engine{eq, cfg, fb, stats};
+    uvm::Driver drv{eq, cfg, fb, link, frames, stats};
+    engine.setBackend(&drv);
+    drv.setEngine(&engine);
+    core::DeepUmConfig dcfg;
+    core::DeepUm dum{drv, dcfg, stats};
+    core::ExecutionIdTable execIds;
+
+    drv.registerRange(mem::kUmBase, totalBlocks * mem::kBlockBytes);
+    mem::BlockId b0 = mem::blockOf(mem::kUmBase);
+
+    gpu::KernelInfo kernel;
+    kernel.computeNs = 10 * sim::kUsec;
+
+    // Distinct kernels per iteration: the window wraps totalBlocks in
+    // stride steps, so the sequence (and the exec ID stream) repeats
+    // exactly every perIter launches.
+    std::uint64_t stride = gpuBlocks / 2 ? gpuBlocks / 2 : 1;
+    std::uint64_t perIter = (totalBlocks + stride - 1) / stride;
+    auto t0 = std::chrono::steady_clock::now();
+    for (std::uint64_t i = 0; i < kernels; ++i) {
+        std::uint64_t k = i % perIter;
+        kernel.name = "corr_k" + std::to_string(k);
+        kernel.argHash = k;
+        kernel.accesses.clear();
+        for (std::uint64_t j = 0; j < gpuBlocks; ++j)
+            kernel.accesses.push_back(gpu::BlockAccess{
+                b0 + (k * stride + j) % totalBlocks,
+                static_cast<std::uint32_t>(mem::kPagesPerBlock),
+                false});
+        dum.notifyKernelLaunch(execIds.lookupOrAssign(kernel));
+        bool done = false;
+        engine.launch(&kernel, [&] { done = true; });
+        eq.run();
+        if (!done) {
+            std::fprintf(stderr,
+                         "error: corr kernel %llu never retired\n",
+                         static_cast<unsigned long long>(i));
+            std::exit(1);
+        }
+    }
+
+    CorrHeavy r;
+    r.wallSec = secondsSince(t0);
+    r.pageFaults = stats.get("uvm.pageFaults");
+    r.prefetchIssued = stats.get("uvm.prefetchIssued");
+    r.blocksIssued = stats.get("prefetcher.blocksIssued");
+    r.chainsStarted = stats.get("prefetcher.chainsStarted");
     r.kernels = kernels;
     r.simTicks = eq.now();
     r.faultsPerSec = r.wallSec > 0
@@ -290,15 +399,18 @@ int
 main(int argc, char **argv)
 {
     std::uint64_t kernels = 16384;
+    std::uint64_t corrKernels = 2048;
     std::uint64_t totalBlocks = 1024;
     std::uint64_t gpuBlocks = 256;
     std::uint64_t microOps = 20'000'000;
-    std::string json, statsJson;
+    std::string json, statsJson, corrStatsJson;
 
     for (int i = 1; i < argc; ++i) {
         std::string a = argv[i];
         if (a == "--kernels" && i + 1 < argc) {
             kernels = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--corr-kernels" && i + 1 < argc) {
+            corrKernels = std::strtoull(argv[++i], nullptr, 10);
         } else if (a == "--blocks" && i + 1 < argc) {
             totalBlocks = std::strtoull(argv[++i], nullptr, 10);
         } else if (a == "--gpu-blocks" && i + 1 < argc) {
@@ -309,12 +421,15 @@ main(int argc, char **argv)
             json = argv[++i];
         } else if (a == "--stats-json" && i + 1 < argc) {
             statsJson = argv[++i];
+        } else if (a == "--corr-stats-json" && i + 1 < argc) {
+            corrStatsJson = argv[++i];
         } else {
             std::fprintf(
                 stderr,
                 "usage: fault_path [--kernels N] [--blocks N] "
-                "[--gpu-blocks N] [--micro-ops N] [--json file] "
-                "[--stats-json file]\n");
+                "[--gpu-blocks N] [--corr-kernels N] [--micro-ops N] "
+                "[--json file] [--stats-json file] "
+                "[--corr-stats-json file]\n");
             return 2;
         }
     }
@@ -339,6 +454,25 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(e.evictedBlocks));
     std::printf("wall time            %.3f s\n", e.wallSec);
     std::printf("faults/sec           %.3e\n", e.faultsPerSec);
+
+    CorrHeavy c;
+    if (corrKernels > 0) {
+        banner("correlation-heavy fault path (DeepUM attached)");
+        c = runCorrHeavy(corrKernels, totalBlocks, gpuBlocks,
+                         corrStatsJson);
+        std::printf("kernels              %llu\n",
+                    static_cast<unsigned long long>(c.kernels));
+        std::printf("page faults          %llu\n",
+                    static_cast<unsigned long long>(c.pageFaults));
+        std::printf("prefetches issued    %llu\n",
+                    static_cast<unsigned long long>(c.prefetchIssued));
+        std::printf("chain blocks issued  %llu\n",
+                    static_cast<unsigned long long>(c.blocksIssued));
+        std::printf("chains started       %llu\n",
+                    static_cast<unsigned long long>(c.chainsStarted));
+        std::printf("wall time            %.3f s\n", c.wallSec);
+        std::printf("faults/sec           %.3e\n", c.faultsPerSec);
+    }
 
 #ifdef FAULT_PATH_HAVE_BLOCK_STORE
     banner("block metadata ops (BlockStore vs unordered_map+list)");
@@ -372,6 +506,17 @@ main(int argc, char **argv)
            << "  \"sim_ticks\": " << e.simTicks << ",\n"
            << "  \"wall_sec\": " << e.wallSec << ",\n"
            << "  \"faults_per_sec\": " << e.faultsPerSec;
+        if (corrKernels > 0) {
+            os << ",\n"
+               << "  \"corr\": {\"kernels\": " << c.kernels
+               << ", \"page_faults\": " << c.pageFaults
+               << ", \"prefetch_issued\": " << c.prefetchIssued
+               << ", \"chain_blocks_issued\": " << c.blocksIssued
+               << ", \"chains_started\": " << c.chainsStarted
+               << ", \"sim_ticks\": " << c.simTicks
+               << ", \"wall_sec\": " << c.wallSec
+               << ", \"faults_per_sec\": " << c.faultsPerSec << "}";
+        }
 #ifdef FAULT_PATH_HAVE_BLOCK_STORE
         os << ",\n"
            << "  \"micro\": {\"ops\": " << microOps

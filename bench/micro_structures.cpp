@@ -81,6 +81,64 @@ BM_ExecTablePredict(benchmark::State &state)
 }
 BENCHMARK(BM_ExecTablePredict);
 
+/**
+ * The steady-state correlation hot path as the correlator drives it:
+ * a duplicate record (MRU refresh, the common case once a kernel's
+ * pattern is learned) followed by a successor lookup. With the dense
+ * slab layout both halves are pointer arithmetic with zero heap
+ * traffic.
+ */
+void
+BM_CorrelationRecord(benchmark::State &state)
+{
+    BlockTableConfig cfg;
+    cfg.numRows = static_cast<std::uint32_t>(state.range(0));
+    BlockCorrelationTable t(cfg);
+    // Learn a stride-1 fault pattern once; the timed loop replays it.
+    constexpr mem::BlockId kBlocks = 2048;
+    for (mem::BlockId b = 0; b < kBlocks; ++b)
+        t.record(b, (b + 1) % kBlocks);
+    mem::BlockId b = 0;
+    for (auto _ : state) {
+        t.record(b, (b + 1) % kBlocks);
+        benchmark::DoNotOptimize(t.successors(b));
+        b = (b + 1) % kBlocks;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CorrelationRecord)->Arg(128)->Arg(2048)->Arg(4096);
+
+/**
+ * The prefetcher's chain walk over a learned table: pop a block,
+ * iterate its successor view, follow the MRU edge. Measures the
+ * per-edge cost of the slab-backed successors() that the fault-path
+ * chain walk pays per issued prefetch.
+ */
+void
+BM_ChainWalk(benchmark::State &state)
+{
+    BlockTableConfig cfg;
+    cfg.numRows = 2048;
+    BlockCorrelationTable t(cfg);
+    constexpr mem::BlockId kBlocks = 2048;
+    // A ring with a few extra edges so views hold >1 successor.
+    for (mem::BlockId b = 0; b < kBlocks; ++b) {
+        t.record(b, (b + 2) % kBlocks);
+        t.record(b, (b + 1) % kBlocks);
+    }
+    mem::BlockId cur = 0;
+    std::uint64_t sum = 0;
+    for (auto _ : state) {
+        SuccView s = t.successors(cur);
+        for (mem::BlockId n : s)
+            sum += n;
+        cur = s.empty() ? 0 : s.front();
+    }
+    benchmark::DoNotOptimize(sum);
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ChainWalk);
+
 void
 BM_ExecutionIdHash(benchmark::State &state)
 {

@@ -1,6 +1,7 @@
 #include "core/block_correlation_table.hh"
 
 #include <algorithm>
+#include <cstring>
 #include <ostream>
 
 #include "sim/logging.hh"
@@ -19,8 +20,6 @@ mix(std::uint64_t z)
     return z ^ (z >> 31);
 }
 
-const std::vector<mem::BlockId> kEmptySuccs;
-
 } // namespace
 
 BlockCorrelationTable::BlockCorrelationTable(const BlockTableConfig &cfg)
@@ -28,9 +27,9 @@ BlockCorrelationTable::BlockCorrelationTable(const BlockTableConfig &cfg)
 {
     DEEPUM_ASSERT(cfg_.numRows > 0 && cfg_.assoc > 0 && cfg_.numSuccs > 0,
                   "degenerate block-table geometry");
-    entries_.resize(std::size_t(cfg_.numRows) * cfg_.assoc);
-    for (auto &e : entries_)
-        e.succs.reserve(cfg_.numSuccs);
+    const std::size_t ways = std::size_t(cfg_.numRows) * cfg_.assoc;
+    entries_.resize(ways);
+    succSlab_.assign(ways * cfg_.numSuccs, uvm::kNoBlock);
 }
 
 std::size_t
@@ -68,21 +67,26 @@ BlockCorrelationTable::record(mem::BlockId prev, mem::BlockId next)
                 victim = &base[w];
         }
         victim->tag = prev;
-        victim->succs.clear();
+        victim->succCount = 0;
         e = victim;
     }
     e->lastUse = ++useClock_;
     e->lastEpoch = epoch_;
 
-    auto it = std::find(e->succs.begin(), e->succs.end(), next);
-    if (it != e->succs.end()) {
-        // Refresh to MRU position.
-        std::rotate(e->succs.begin(), it, it + 1);
+    mem::BlockId *s = succsOf(static_cast<std::size_t>(e - entries_.data()));
+    for (std::uint32_t i = 0; i < e->succCount; ++i) {
+        if (s[i] != next)
+            continue;
+        // Refresh to MRU position: slide [0, i) up one, put next at 0.
+        std::memmove(s + 1, s, i * sizeof(mem::BlockId));
+        s[0] = next;
         return;
     }
-    e->succs.insert(e->succs.begin(), next);
-    if (e->succs.size() > cfg_.numSuccs)
-        e->succs.pop_back();
+    // Insert at MRU, dropping the LRU slot when at capacity.
+    std::uint32_t keep = std::min(e->succCount, cfg_.numSuccs - 1);
+    std::memmove(s + 1, s, keep * sizeof(mem::BlockId));
+    s[0] = next;
+    e->succCount = keep + 1;
 }
 
 void
@@ -109,23 +113,35 @@ BlockCorrelationTable::captureStartEnd(mem::BlockId start,
     }
 }
 
-const std::vector<mem::BlockId> &
+SuccView
 BlockCorrelationTable::successors(mem::BlockId b) const
 {
     const Entry *e = find(b);
-    return e == nullptr ? kEmptySuccs : e->succs;
+    if (e == nullptr)
+        return SuccView{};
+    return SuccView{
+        succsOf(static_cast<std::size_t>(e - entries_.data())),
+        e->succCount};
+}
+
+void
+BlockCorrelationTable::freshTags(std::uint32_t window,
+                                 std::vector<mem::BlockId> &out) const
+{
+    out.clear();
+    for (const auto &e : entries_) {
+        if (e.tag == uvm::kNoBlock)
+            continue;
+        if (e.lastEpoch + window >= epoch_)
+            out.push_back(e.tag);
+    }
 }
 
 std::vector<mem::BlockId>
 BlockCorrelationTable::freshTags(std::uint32_t window) const
 {
     std::vector<mem::BlockId> tags;
-    for (const auto &e : entries_) {
-        if (e.tag == uvm::kNoBlock)
-            continue;
-        if (e.lastEpoch + window >= epoch_)
-            tags.push_back(e.tag);
-    }
+    freshTags(window, tags);
     return tags;
 }
 
@@ -143,12 +159,8 @@ void
 BlockCorrelationTable::erase(mem::BlockId b)
 {
     Entry *e = find(b);
-    if (e != nullptr) {
-        e->tag = uvm::kNoBlock;
-        e->succs.clear();
-        e->lastUse = 0;
-        e->lastEpoch = 0;
-    }
+    if (e != nullptr)
+        resetWay(static_cast<std::size_t>(e - entries_.data()));
 }
 
 void
@@ -157,19 +169,22 @@ BlockCorrelationTable::eraseRange(mem::BlockId first, mem::BlockId end)
     auto dead = [first, end](mem::BlockId b) {
         return b >= first && b < end;
     };
-    for (Entry &e : entries_) {
+    for (std::size_t way = 0; way < entries_.size(); ++way) {
+        Entry &e = entries_[way];
         if (e.tag == uvm::kNoBlock)
             continue;
         if (dead(e.tag)) {
-            e.tag = uvm::kNoBlock;
-            e.succs.clear();
-            e.lastUse = 0;
-            e.lastEpoch = 0;
+            resetWay(way);
             continue;
         }
-        e.succs.erase(
-            std::remove_if(e.succs.begin(), e.succs.end(), dead),
-            e.succs.end());
+        // Compact the inline successor window, preserving MRU order.
+        mem::BlockId *s = succsOf(way);
+        std::uint32_t n = 0;
+        for (std::uint32_t i = 0; i < e.succCount; ++i) {
+            if (!dead(s[i]))
+                s[n++] = s[i];
+        }
+        e.succCount = n;
     }
     if (start_ != uvm::kNoBlock && dead(start_))
         start_ = uvm::kNoBlock;
@@ -180,11 +195,15 @@ BlockCorrelationTable::eraseRange(mem::BlockId first, mem::BlockId end)
 void
 BlockCorrelationTable::checkInvariants(sim::CheckContext &ctx) const
 {
+    ctx.require(succSlab_.size() ==
+                    entries_.size() * std::size_t(cfg_.numSuccs),
+                "successor slab holds %zu slots for %zu ways of %u",
+                succSlab_.size(), entries_.size(), cfg_.numSuccs);
     for (std::size_t i = 0; i < entries_.size(); ++i) {
         const Entry &e = entries_[i];
         const std::size_t set = i / cfg_.assoc;
         if (e.tag == uvm::kNoBlock) {
-            ctx.require(e.succs.empty() && e.lastUse == 0 &&
+            ctx.require(e.succCount == 0 && e.lastUse == 0 &&
                             e.lastEpoch == 0,
                         "empty way %zu not fully reset", i);
             continue;
@@ -193,9 +212,9 @@ BlockCorrelationTable::checkInvariants(sim::CheckContext &ctx) const
                     "tag %llu in set %zu hashes to set %zu",
                     static_cast<unsigned long long>(e.tag), set,
                     setIndex(e.tag));
-        ctx.require(e.succs.size() <= cfg_.numSuccs,
-                    "way %zu holds %zu successors, max %u", i,
-                    e.succs.size(), cfg_.numSuccs);
+        ctx.require(e.succCount <= cfg_.numSuccs,
+                    "way %zu holds %u successors, max %u", i,
+                    e.succCount, cfg_.numSuccs);
         ctx.require(e.lastUse <= useClock_,
                     "way %zu lastUse %llu beyond clock %llu", i,
                     static_cast<unsigned long long>(e.lastUse),
@@ -203,12 +222,12 @@ BlockCorrelationTable::checkInvariants(sim::CheckContext &ctx) const
         ctx.require(e.lastEpoch <= epoch_,
                     "way %zu lastEpoch %u beyond epoch %u", i,
                     e.lastEpoch, epoch_);
-        for (std::size_t a = 0; a < e.succs.size(); ++a) {
-            for (std::size_t b = a + 1; b < e.succs.size(); ++b)
-                ctx.require(e.succs[a] != e.succs[b],
+        const mem::BlockId *s = succsOf(i);
+        for (std::uint32_t a = 0; a < e.succCount; ++a) {
+            for (std::uint32_t b = a + 1; b < e.succCount; ++b)
+                ctx.require(s[a] != s[b],
                             "way %zu successor %llu duplicated", i,
-                            static_cast<unsigned long long>(
-                                e.succs[a]));
+                            static_cast<unsigned long long>(s[a]));
         }
         // No duplicate tag in the same set.
         const Entry *base = &entries_[set * cfg_.assoc];
@@ -234,8 +253,9 @@ BlockCorrelationTable::dumpState(std::ostream &os) const
         os << "  way " << i << ": tag=" << e.tag
            << " lastUse=" << e.lastUse << " lastEpoch=" << e.lastEpoch
            << " succs=[";
-        for (std::size_t s = 0; s < e.succs.size(); ++s)
-            os << (s != 0 ? " " : "") << e.succs[s];
+        const mem::BlockId *s = succsOf(i);
+        for (std::uint32_t j = 0; j < e.succCount; ++j)
+            os << (j != 0 ? " " : "") << s[j];
         os << "]\n";
     }
 }
@@ -263,73 +283,61 @@ BlockCorrelationTable::sizeBytes() const
 }
 
 BlockCorrelationTable &
-BlockTableMap::getOrCreate(ExecId id)
+BlockCorrelationTableSet::getOrCreate(ExecId id)
 {
-    auto it = tables_.find(id);
-    if (it == tables_.end()) {
-        it = tables_.emplace(
-                         id,
-                         std::make_unique<BlockCorrelationTable>(cfg_))
-                 .first;
+    DEEPUM_ASSERT(id != kNoExecId, "table lookup for kNoExecId");
+    if (id >= tables_.size())
+        tables_.resize(std::size_t(id) + 1);
+    if (tables_[id] == nullptr) {
+        tables_[id] = std::make_unique<BlockCorrelationTable>(cfg_);
+        ++count_;
     }
-    return *it->second;
-}
-
-BlockCorrelationTable *
-BlockTableMap::find(ExecId id)
-{
-    auto it = tables_.find(id);
-    return it == tables_.end() ? nullptr : it->second.get();
-}
-
-const BlockCorrelationTable *
-BlockTableMap::find(ExecId id) const
-{
-    auto it = tables_.find(id);
-    return it == tables_.end() ? nullptr : it->second.get();
+    return *tables_[id];
 }
 
 std::uint64_t
-BlockTableMap::totalSizeBytes() const
+BlockCorrelationTableSet::totalSizeBytes() const
 {
     std::uint64_t bytes = 0;
-    // det-ok(unordered-iter): order-independent sum
-    for (const auto &[id, t] : tables_)
-        bytes += t->sizeBytes();
+    for (const auto &t : tables_)
+        if (t != nullptr)
+            bytes += t->sizeBytes();
     return bytes;
 }
 
 void
-BlockTableMap::eraseBlocksInRange(mem::BlockId first, mem::BlockId end)
+BlockCorrelationTableSet::eraseBlocksInRange(mem::BlockId first,
+                                             mem::BlockId end)
 {
-    // det-ok(unordered-iter): order-independent per-table scrub
-    for (auto &[id, t] : tables_)
-        t->eraseRange(first, end);
+    for (auto &t : tables_)
+        if (t != nullptr)
+            t->eraseRange(first, end);
 }
 
 void
-BlockTableMap::checkInvariants(sim::CheckContext &ctx) const
+BlockCorrelationTableSet::checkInvariants(sim::CheckContext &ctx) const
 {
-    // det-ok(unordered-iter): order-independent audit
-    for (const auto &[id, t] : tables_) {
-        ctx.require(t != nullptr, "null table for exec %u", id);
+    std::size_t live = 0;
+    for (const auto &t : tables_) {
+        if (t == nullptr)
+            continue;
+        ++live;
         t->checkInvariants(ctx);
     }
+    ctx.require(live == count_,
+                "table count %zu disagrees with %zu live slots",
+                count_, live);
 }
 
 void
-BlockTableMap::dumpState(std::ostream &os) const
+BlockCorrelationTableSet::dumpState(std::ostream &os) const
 {
-    os << "BlockTableMap{tables=" << tables_.size() << "}\n";
-    std::vector<ExecId> ids;
-    ids.reserve(tables_.size());
-    // det-ok(unordered-iter): keys sorted before printing
-    for (const auto &[id, t] : tables_)
-        ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (ExecId id : ids) {
+    os << "BlockCorrelationTableSet{tables=" << count_ << "}\n";
+    for (ExecId id = 0; id < tables_.size(); ++id) {
+        if (tables_[id] == nullptr)
+            continue;
         os << " exec " << id << ": ";
-        tables_.at(id)->dumpState(os);
+        tables_[id]->dumpState(os);
     }
 }
 

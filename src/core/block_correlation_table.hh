@@ -8,6 +8,17 @@
  * block (first fault after the kernel began) and `end` block (last
  * fault before the next kernel), which the prefetcher uses to chain
  * across kernels.
+ *
+ * Storage is dense, mirroring the driver's uvm::BlockStore: entries
+ * are fixed-size records in one set-major slab, and every entry's
+ * successor list is a fixed-capacity inline window carved from a
+ * second contiguous slab (way i owns slot range [i*NumSuccs,
+ * (i+1)*NumSuccs)). record()'s LRU-replace + MRU-insert and
+ * successors() are pointer arithmetic over those slabs — no per-entry
+ * heap vectors, no allocation on the record/lookup hot path, and the
+ * successor storage never moves for the table's lifetime, so the
+ * SuccView returned by successors() stays valid (it re-reads current
+ * contents) instead of dangling like the former vector reference.
  */
 
 #pragma once
@@ -15,7 +26,6 @@
 #include <cstdint>
 #include <iosfwd>
 #include <memory>
-#include <unordered_map>
 #include <vector>
 
 #include "core/config.hh"
@@ -29,6 +39,33 @@ class CheckContext;
 
 namespace deepum::core {
 
+/**
+ * Borrowed, read-only view of one entry's successor list (MRU
+ * first). A value type over the table's stable successor slab: the
+ * pointed-to storage lives as long as the table, so holding a view
+ * across record() is safe — the view observes the updated contents
+ * rather than dangling. Invalidated only by destroying the table.
+ */
+class SuccView
+{
+  public:
+    SuccView() = default;
+    SuccView(const mem::BlockId *data, std::uint32_t size)
+        : data_(data), size_(size)
+    {}
+
+    const mem::BlockId *begin() const { return data_; }
+    const mem::BlockId *end() const { return data_ + size_; }
+    std::size_t size() const { return size_; }
+    bool empty() const { return size_ == 0; }
+    mem::BlockId operator[](std::size_t i) const { return data_[i]; }
+    mem::BlockId front() const { return data_[0]; }
+
+  private:
+    const mem::BlockId *data_ = nullptr;
+    std::uint32_t size_ = 0;
+};
+
 /** One execution ID's block-successor table. */
 class BlockCorrelationTable
 {
@@ -39,15 +76,16 @@ class BlockCorrelationTable
      * Record that a fault on @p next followed a fault on @p prev
      * within this kernel. Allocates/replaces entries LRU within the
      * mapped set; inserts @p next at MRU position of @p prev's
-     * successor list.
+     * successor list. Never allocates: the entry and successor slabs
+     * are sized at construction.
      */
     void record(mem::BlockId prev, mem::BlockId next);
 
     /**
      * Successors of @p b, MRU first. Empty when @p b has no entry.
-     * The returned reference is invalidated by the next record().
+     * Returned by value; see SuccView for the lifetime contract.
      */
-    const std::vector<mem::BlockId> &successors(mem::BlockId b) const;
+    SuccView successors(mem::BlockId b) const;
 
     /** First faulted block of the kernel's executions. */
     mem::BlockId start() const { return start_; }
@@ -80,15 +118,22 @@ class BlockCorrelationTable
     std::uint32_t bestSequenceLen() const { return bestLen_; }
 
     /**
-     * Tags of entries touched within the last @p window executions.
+     * Append the tags of entries touched within the last @p window
+     * executions to @p out (cleared first), in slab order.
      *
      * A kernel's fault-learned graph can split into disconnected
      * components (blocks that stop faulting because prefetching
      * covers them stop being re-linked), so chaining from `start`
      * alone oscillates between components. Issuing every *live*
      * entry on kernel entry breaks the oscillation; refresh() keeps
-     * successfully-prefetched entries live.
+     * successfully-prefetched entries live. The out-parameter form
+     * lets the prefetcher reuse one scratch vector across
+     * activations (allocation-free steady state).
      */
+    void freshTags(std::uint32_t window,
+                   std::vector<mem::BlockId> &out) const;
+
+    /** Convenience allocating form (tests). */
     std::vector<mem::BlockId> freshTags(std::uint32_t window) const;
 
     /** Mark @p b's entry as used this epoch (chain visit). */
@@ -128,9 +173,10 @@ class BlockCorrelationTable
 
     /**
      * Audit structural invariants (sim/validate.hh): tags hash to
-     * their set, no duplicate tags within a set, successor lists
-     * within associativity bounds and duplicate-free, use/epoch
-     * stamps within the counters, and empty ways fully reset.
+     * their set, no duplicate tags within a set, successor counts
+     * within the inline capacity and the listed successors
+     * duplicate-free, use/epoch stamps within the counters, and
+     * empty ways fully reset.
      */
     void checkInvariants(sim::CheckContext &ctx) const;
 
@@ -138,15 +184,30 @@ class BlockCorrelationTable
     void dumpState(std::ostream &os) const;
 
   private:
+    /**
+     * One way of one set. Fixed-size: the successor list lives in
+     * the table-wide succSlab_, window [way*numSuccs, way*numSuccs +
+     * succCount), MRU first.
+     */
     struct Entry {
         mem::BlockId tag = uvm::kNoBlock;
-        std::vector<mem::BlockId> succs; ///< MRU first, <= numSuccs
         std::uint64_t lastUse = 0;
         std::uint32_t lastEpoch = 0;
+        std::uint32_t succCount = 0;
     };
 
     /** Map @p b to its set index. */
     std::size_t setIndex(mem::BlockId b) const;
+
+    /** Successor window of the way at slab index @p way. */
+    mem::BlockId *succsOf(std::size_t way)
+    {
+        return &succSlab_[way * cfg_.numSuccs];
+    }
+    const mem::BlockId *succsOf(std::size_t way) const
+    {
+        return &succSlab_[way * cfg_.numSuccs];
+    }
 
     /**
      * Shared lookup for both constnesses: probes @p self's set for
@@ -170,8 +231,16 @@ class BlockCorrelationTable
     Entry *find(mem::BlockId b);
     const Entry *find(mem::BlockId b) const;
 
+    /** Reset the way at slab index @p way to the empty state. */
+    void
+    resetWay(std::size_t way)
+    {
+        entries_[way] = Entry{};
+    }
+
     BlockTableConfig cfg_;
-    std::vector<Entry> entries_; ///< numRows * assoc, set-major
+    std::vector<Entry> entries_;        ///< numRows * assoc, set-major
+    std::vector<mem::BlockId> succSlab_; ///< numRows*assoc*numSuccs
     mem::BlockId start_ = uvm::kNoBlock;
     mem::BlockId end_ = uvm::kNoBlock;
     std::uint64_t useClock_ = 0;
@@ -180,21 +249,39 @@ class BlockCorrelationTable
     std::uint32_t epoch_ = 0;       ///< executions with faults seen
 };
 
-/** Lazily-allocated collection: one block table per execution ID. */
-class BlockTableMap
+/**
+ * Lazily-allocated collection: one block table per execution ID.
+ *
+ * ExecutionIdTable hands out dense IDs (0, 1, 2, ...), so the
+ * collection is an ExecId-indexed vector — find() is a bounds check
+ * plus one load, no hashing — of owning pointers (tables are large
+ * and must stay address-stable across getOrCreate() growth, since
+ * the correlator and prefetcher hold references across calls).
+ */
+class BlockCorrelationTableSet
 {
   public:
-    explicit BlockTableMap(const BlockTableConfig &cfg) : cfg_(cfg) {}
+    explicit BlockCorrelationTableSet(const BlockTableConfig &cfg)
+        : cfg_(cfg)
+    {}
 
     /** Get the table for @p id, allocating it on first use. */
     BlockCorrelationTable &getOrCreate(ExecId id);
 
     /** @return the table for @p id, or nullptr if never allocated. */
-    BlockCorrelationTable *find(ExecId id);
-    const BlockCorrelationTable *find(ExecId id) const;
+    BlockCorrelationTable *
+    find(ExecId id)
+    {
+        return id < tables_.size() ? tables_[id].get() : nullptr;
+    }
+    const BlockCorrelationTable *
+    find(ExecId id) const
+    {
+        return id < tables_.size() ? tables_[id].get() : nullptr;
+    }
 
     /** Number of allocated tables. */
-    std::size_t tableCount() const { return tables_.size(); }
+    std::size_t tableCount() const { return count_; }
 
     /** Total bytes across all allocated tables (paper Table 4). */
     std::uint64_t totalSizeBytes() const;
@@ -205,14 +292,15 @@ class BlockTableMap
     /** Audit every allocated table (sim/validate.hh). */
     void checkInvariants(sim::CheckContext &ctx) const;
 
-    /** Visit every allocated table as (ExecId, table&). */
+    /** Visit every allocated table as (ExecId, table&), id order. */
     template <typename Fn>
     void
     forEachTable(Fn &&fn) const
     {
-        // det-ok(unordered-iter): order-independent visit
-        for (const auto &[id, t] : tables_)
-            fn(id, *t);
+        for (ExecId id = 0; id < tables_.size(); ++id) {
+            if (tables_[id] != nullptr)
+                fn(id, *tables_[id]);
+        }
     }
 
     /** Stream every allocated table, id-ordered (violation dumps). */
@@ -220,8 +308,8 @@ class BlockTableMap
 
   private:
     BlockTableConfig cfg_;
-    std::unordered_map<ExecId, std::unique_ptr<BlockCorrelationTable>>
-        tables_;
+    std::vector<std::unique_ptr<BlockCorrelationTable>> tables_;
+    std::size_t count_ = 0; ///< non-null slots in tables_
 };
 
 } // namespace deepum::core

@@ -3,7 +3,7 @@
 namespace deepum::core {
 
 Correlator::Correlator(ExecCorrelationTable &exec_table,
-                       BlockTableMap &blocks)
+                       BlockCorrelationTableSet &blocks)
     : execTable_(exec_table), blockTables_(blocks)
 {
 }

@@ -26,7 +26,7 @@ namespace deepum::core {
 class Correlator
 {
   public:
-    Correlator(ExecCorrelationTable &exec_table, BlockTableMap &blocks);
+    Correlator(ExecCorrelationTable &exec_table, BlockCorrelationTableSet &blocks);
 
     /** The runtime announced the next kernel's execution ID. */
     void onKernelLaunch(ExecId next);
@@ -58,7 +58,7 @@ class Correlator
 
   private:
     ExecCorrelationTable &execTable_;
-    BlockTableMap &blockTables_;
+    BlockCorrelationTableSet &blockTables_;
 
     ExecId current_ = kNoExecId;
     ExecHistory hist_{kNoExecId, kNoExecId, kNoExecId};

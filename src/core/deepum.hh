@@ -49,13 +49,13 @@ class DeepUm : public uvm::DriverListener
 
     const DeepUmConfig &config() const { return cfg_; }
     const ExecCorrelationTable &execTable() const { return execTable_; }
-    const BlockTableMap &blockTables() const { return blockTables_; }
+    const BlockCorrelationTableSet &blockTables() const { return blockTables_; }
     const Correlator &correlator() const { return correlator_; }
     const Prefetcher &prefetcher() const { return prefetcher_; }
     const PreEvictor &preEvictor() const { return preEvictor_; }
 
     /** Mutable table access (validation tests seed violations here). */
-    BlockTableMap &blockTables() { return blockTables_; }
+    BlockCorrelationTableSet &blockTables() { return blockTables_; }
 
     /**
      * Audit the DeepUM-side structures (sim/validate.hh): delegates
@@ -85,7 +85,7 @@ class DeepUm : public uvm::DriverListener
     uvm::Driver &drv_;
     DeepUmConfig cfg_;
     ExecCorrelationTable execTable_;
-    BlockTableMap blockTables_;
+    BlockCorrelationTableSet blockTables_;
     Correlator correlator_;
     Prefetcher prefetcher_;
     PreEvictor preEvictor_;

@@ -1,8 +1,8 @@
 #include "core/exec_correlation_table.hh"
 
-#include <algorithm>
 #include <ostream>
 
+#include "sim/logging.hh"
 #include "sim/validate.hh"
 
 namespace deepum::core {
@@ -11,86 +11,111 @@ void
 ExecCorrelationTable::record(ExecId cur, const ExecHistory &hist,
                              ExecId next)
 {
-    auto &recs = entries_[cur];
-    auto it = std::find_if(recs.begin(), recs.end(),
-                           [&](const Record &r) {
-                               return r.hist == hist && r.next == next;
-                           });
-    if (it != recs.end()) {
-        // Move to MRU position.
-        std::rotate(recs.begin(), it, it + 1);
+    DEEPUM_ASSERT(cur != kNoExecId, "record under kNoExecId");
+    if (cur >= entries_.size())
+        entries_.resize(std::size_t(cur) + 1);
+    Entry &e = entries_[cur];
+    if (e.count == 0)
+        ++liveEntries_;
+
+    for (std::uint32_t i = 0; i < e.count; ++i) {
+        const Record &r = e.at(i);
+        if (r.hist != hist || r.next != next)
+            continue;
+        // Move to MRU position: slide [0, i) down one logical slot.
+        Record hit = r;
+        for (std::uint32_t j = i; j > 0; --j)
+            e.at(j) = e.at(j - 1);
+        e.at(0) = hit;
         return;
     }
-    recs.insert(recs.begin(), Record{hist, next});
+    // New record: grow by one slot at the cold end, shift everything
+    // down, insert at MRU. Only this path (a history never seen
+    // before) can touch the heap, and only once count exceeds the
+    // inline capacity.
+    if (e.count >= kInlineRecords)
+        e.overflow.emplace_back();
+    ++e.count;
+    for (std::uint32_t j = e.count - 1; j > 0; --j)
+        e.at(j) = e.at(j - 1);
+    e.at(0) = Record{hist, next};
 }
 
 ExecId
 ExecCorrelationTable::predict(ExecId cur, const ExecHistory &hist,
                               bool mru_fallback) const
 {
-    auto eit = entries_.find(cur);
-    if (eit == entries_.end() || eit->second.empty())
+    if (cur >= entries_.size())
         return kNoExecId;
-    const auto &recs = eit->second;
-    auto it = std::find_if(recs.begin(), recs.end(),
-                           [&](const Record &r) {
-                               return r.hist == hist;
-                           });
-    if (it != recs.end())
-        return it->next;
-    return mru_fallback ? recs.front().next : kNoExecId;
+    const Entry &e = entries_[cur];
+    if (e.count == 0)
+        return kNoExecId;
+    for (std::uint32_t i = 0; i < e.count; ++i) {
+        if (e.at(i).hist == hist)
+            return e.at(i).next;
+    }
+    return mru_fallback ? e.at(0).next : kNoExecId;
 }
 
 std::size_t
 ExecCorrelationTable::recordCount(ExecId cur) const
 {
-    auto it = entries_.find(cur);
-    return it == entries_.end() ? 0 : it->second.size();
+    return cur < entries_.size() ? entries_[cur].count : 0;
 }
 
 std::uint64_t
 ExecCorrelationTable::sizeBytes() const
 {
     std::uint64_t bytes = 0;
-    // det-ok(unordered-iter): order-independent sum
-    for (const auto &[id, recs] : entries_)
-        bytes += sizeof(ExecId) + recs.size() * sizeof(Record);
+    for (const Entry &e : entries_) {
+        if (e.count > 0)
+            bytes += sizeof(ExecId) + e.count * sizeof(Record);
+    }
     return bytes;
 }
 
 void
 ExecCorrelationTable::checkInvariants(sim::CheckContext &ctx) const
 {
-    // det-ok(unordered-iter): order-independent audit
-    for (const auto &[id, recs] : entries_) {
-        ctx.require(!recs.empty(), "exec %u entry has no records", id);
-        for (std::size_t a = 0; a < recs.size(); ++a) {
-            for (std::size_t b = a + 1; b < recs.size(); ++b)
-                ctx.require(!(recs[a].hist == recs[b].hist &&
-                              recs[a].next == recs[b].next),
+    std::size_t live = 0;
+    for (ExecId id = 0; id < entries_.size(); ++id) {
+        const Entry &e = entries_[id];
+        if (e.count > 0)
+            ++live;
+        const std::size_t want_overflow =
+            e.count > kInlineRecords ? e.count - kInlineRecords : 0;
+        ctx.require(e.overflow.size() == want_overflow,
+                    "exec %u holds %zu overflow records for count %u",
+                    id, e.overflow.size(), e.count);
+        for (std::uint32_t a = 0; a < e.count; ++a) {
+            for (std::uint32_t b = a + 1; b < e.count; ++b)
+                ctx.require(!(e.at(a).hist == e.at(b).hist &&
+                              e.at(a).next == e.at(b).next),
                             "exec %u holds a duplicate (history, "
                             "next=%u) record",
-                            id, recs[a].next);
+                            id, e.at(a).next);
         }
     }
+    ctx.require(live == liveEntries_,
+                "live-entry counter %zu disagrees with %zu live "
+                "entries",
+                liveEntries_, live);
 }
 
 void
 ExecCorrelationTable::dumpState(std::ostream &os) const
 {
-    os << "ExecCorrelationTable{entries=" << entries_.size() << "}\n";
-    std::vector<ExecId> ids;
-    ids.reserve(entries_.size());
-    // det-ok(unordered-iter): keys sorted before printing
-    for (const auto &[id, recs] : entries_)
-        ids.push_back(id);
-    std::sort(ids.begin(), ids.end());
-    for (ExecId id : ids) {
+    os << "ExecCorrelationTable{entries=" << liveEntries_ << "}\n";
+    for (ExecId id = 0; id < entries_.size(); ++id) {
+        const Entry &e = entries_[id];
+        if (e.count == 0)
+            continue;
         os << "  exec " << id << ":";
-        // det-ok(unordered-iter): .at() yields one MRU-ordered vector
-        for (const Record &r : entries_.at(id))
+        for (std::uint32_t i = 0; i < e.count; ++i) {
+            const Record &r = e.at(i);
             os << " [(" << r.hist[0] << "," << r.hist[1] << ","
                << r.hist[2] << ")->" << r.next << "]";
+        }
         os << "\n";
     }
 }

@@ -8,6 +8,14 @@
  * it. The variable record count keeps *all* history, because a wrong
  * next-kernel prediction is expensive while a wrong next-block
  * prediction is cheap.
+ *
+ * Storage is dense: ExecutionIdTable hands out dense IDs, so entries
+ * live in an ExecId-indexed vector (no hashing), and each entry keeps
+ * its hottest records in a fixed inline array — the MRU prefix that
+ * record()'s dedupe and predict()'s scan touch in steady state —
+ * with a heap overflow tail only for the cold minority of kernels
+ * with many distinct histories. Steady-state record() (a duplicate
+ * moving to MRU) and predict() never allocate.
  */
 
 #pragma once
@@ -15,7 +23,6 @@
 #include <array>
 #include <cstdint>
 #include <iosfwd>
-#include <unordered_map>
 #include <vector>
 
 #include "core/execution_id_table.hh"
@@ -39,6 +46,9 @@ class ExecCorrelationTable
         ExecId next;      ///< kernel observed to follow `cur`
     };
 
+    /** Records kept inline per entry (the hot MRU prefix). */
+    static constexpr std::uint32_t kInlineRecords = 4;
+
     /**
      * Record that @p next launched while @p cur was the current
      * kernel with preceding history @p hist. Duplicate records are
@@ -58,13 +68,14 @@ class ExecCorrelationTable
     std::size_t recordCount(ExecId cur) const;
 
     /** Entries (distinct current IDs) in the table. */
-    std::size_t entryCount() const { return entries_.size(); }
+    std::size_t entryCount() const { return liveEntries_; }
 
     /** Approximate resident bytes, for Table 4 accounting. */
     std::uint64_t sizeBytes() const;
 
     /**
-     * Audit structure (sim/validate.hh): entries are non-empty and
+     * Audit structure (sim/validate.hh): record counts agree with
+     * the inline/overflow split, the live-entry counter matches, and
      * no (history, next) record is duplicated within an entry (the
      * MRU-dedupe contract of record()).
      */
@@ -74,8 +85,33 @@ class ExecCorrelationTable
     void dumpState(std::ostream &os) const;
 
   private:
-    /** Per-entry record list, MRU first. */
-    std::unordered_map<ExecId, std::vector<Record>> entries_;
+    /**
+     * One execution ID's record list, MRU first: logical position i
+     * is inline_[i] for i < kInlineRecords, else
+     * overflow_[i - kInlineRecords]. An entry with count == 0 is
+     * absent (the ID was never recorded under).
+     */
+    struct Entry {
+        std::uint32_t count = 0;
+        std::array<Record, kInlineRecords> inl{};
+        std::vector<Record> overflow;
+
+        const Record &
+        at(std::uint32_t i) const
+        {
+            return i < kInlineRecords ? inl[i]
+                                      : overflow[i - kInlineRecords];
+        }
+        Record &
+        at(std::uint32_t i)
+        {
+            return i < kInlineRecords ? inl[i]
+                                      : overflow[i - kInlineRecords];
+        }
+    };
+
+    std::vector<Entry> entries_;    ///< indexed by ExecId
+    std::size_t liveEntries_ = 0;   ///< entries with count > 0
 };
 
 } // namespace deepum::core

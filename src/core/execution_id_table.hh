@@ -7,6 +7,16 @@
  * new hashes get fresh IDs. During DNN training the kernel sequence
  * repeats every iteration, so the ID stream repeats too — which is
  * what makes correlation prefetching work.
+ *
+ * IDs are *dense*: lookupOrAssign hands out 0, 1, 2, ... in first-
+ * sight order, so at all times every assigned ID is < size(). This
+ * is a load-bearing contract, not an accident of implementation —
+ * the correlation engine (BlockCorrelationTableSet, the exec
+ * correlation table, the prefetcher's pending-completion table)
+ * stores per-ExecId state in plain ExecId-indexed vectors whose
+ * lookups are a bounds check plus a load. kNoExecId is all-ones and
+ * therefore always fails the bounds check, which is what makes it a
+ * safe "unknown" sentinel for those tables.
  */
 
 #pragma once

@@ -8,13 +8,17 @@
 namespace deepum::core {
 
 Prefetcher::Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
-                       BlockTableMap &blocks, Correlator &correlator,
-                       const DeepUmConfig &cfg, sim::StatSet &stats)
+                       BlockCorrelationTableSet &blocks,
+                       Correlator &correlator, const DeepUmConfig &cfg,
+                       sim::StatSet &stats)
     : drv_(drv),
       execTable_(exec_table),
       blockTables_(blocks),
       correlator_(correlator),
       cfg_(cfg),
+      // The window never exceeds lookaheadN + 2 slots (the audited
+      // bound below), so the ring is sized once and never grows.
+      slotBuf_(std::size_t(cfg.lookaheadN) + 2),
       chainsStarted_(stats, "prefetcher.chainsStarted",
                      "chain (re)starts triggered by fault batches"),
       chainTransitions_(stats, "prefetcher.chainTransitions",
@@ -43,6 +47,17 @@ Prefetcher::Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
 }
 
 void
+Prefetcher::pushSlot(ExecId exec)
+{
+    DEEPUM_ASSERT(slotCount_ < slotBuf_.size(),
+                  "prediction window overflows its ring");
+    Slot &s = slotAt(slotCount_);
+    s.exec = exec;
+    s.blocks.clear(); // recycled slot: keep the list's capacity
+    ++slotCount_;
+}
+
+void
 Prefetcher::dropProt(uvm::BlockIndex i)
 {
     DEEPUM_ASSERT(i < protCount_.size() && protCount_[i] > 0,
@@ -55,7 +70,7 @@ void
 Prefetcher::protect(std::size_t slot, mem::BlockId b)
 {
     uvm::BlockIndex i = drv_.store().find(b);
-    slots_[slot].blocks.push_back(ProtEntry{b, i});
+    slotAt(slot).blocks.push_back(ProtEntry{b, i});
     if (i == uvm::kNoBlockIndex)
         return; // unknown block: nothing to refcount
     growScratch();
@@ -66,16 +81,21 @@ Prefetcher::protect(std::size_t slot, mem::BlockId b)
 void
 Prefetcher::popFrontSlot()
 {
-    for (const ProtEntry &e : slots_.front().blocks) {
+    DEEPUM_ASSERT(slotCount_ > 0, "popping an empty window");
+    Slot &front = slotAt(0);
+    for (const ProtEntry &e : front.blocks) {
         if (e.idx != uvm::kNoBlockIndex)
             dropProt(e.idx);
     }
-    slots_.pop_front();
+    front.exec = kNoExecId;
+    front.blocks.clear();
+    slotHead_ = (slotHead_ + 1) % slotBuf_.size();
+    --slotCount_;
     if (chainDepth_ == 0) {
         // The chain was still working on the kernel that just ended.
         active_ = false;
         paused_ = false;
-        walk_.clear();
+        clearWalk();
         ++seenGen_;
     } else {
         --chainDepth_;
@@ -85,14 +105,14 @@ Prefetcher::popFrontSlot()
 void
 Prefetcher::clearAllSlots()
 {
-    while (!slots_.empty())
+    while (slotCount_ > 0)
         popFrontSlot();
     DEEPUM_ASSERT(protectedDistinct_ == 0,
                   "protected set nonempty after clearing slots");
     active_ = false;
     paused_ = false;
     chainDepth_ = 0;
-    walk_.clear();
+    clearWalk();
     ++seenGen_;
 }
 
@@ -103,8 +123,8 @@ Prefetcher::onRangeUnregistered(mem::BlockId first, mem::BlockId end)
     // already dropped the run, so the ids no longer resolve, but the
     // slots are not reusable until a later registration — which
     // cannot happen before this hook returns.
-    for (Slot &s : slots_) {
-        for (ProtEntry &e : s.blocks) {
+    for (std::size_t i = 0; i < slotCount_; ++i) {
+        for (ProtEntry &e : slotAt(i).blocks) {
             if (e.block >= first && e.block < end &&
                 e.idx != uvm::kNoBlockIndex) {
                 dropProt(e.idx);
@@ -118,7 +138,7 @@ void
 Prefetcher::issue(std::size_t slot, mem::BlockId b)
 {
     protect(slot, b);
-    drv_.enqueuePrefetch(b, slots_[slot].exec,
+    drv_.enqueuePrefetch(b, slotAt(slot).exec,
                          static_cast<std::uint32_t>(slot));
     ++blocksIssued_;
     if (budget_ > 0)
@@ -132,39 +152,43 @@ Prefetcher::onPrefetchCompleted(mem::BlockId block, ExecId exec_id,
     (void)block;
     if (exec_id == kNoExecId)
         return;
-    if (!slots_.empty() && slots_[0].exec == exec_id) {
+    if (slotCount_ != 0 && slotAt(0).exec == exec_id) {
         // The consuming kernel is already running: the prefetch
         // arrived late and saved nothing of its lead time.
         ++lateCompletions_;
         leadTime_.sample(0);
         return;
     }
+    if (exec_id >= pendingDone_.size())
+        pendingDone_.resize(std::size_t(exec_id) + 1);
+    if (pendingDone_[exec_id].empty())
+        ++pendingExecs_;
     pendingDone_[exec_id].push_back(at);
 }
 
 void
 Prefetcher::onKernelLaunch(ExecId id)
 {
-    auto pend = pendingDone_.find(id);
-    if (pend != pendingDone_.end()) {
+    if (id < pendingDone_.size() && !pendingDone_[id].empty()) {
         sim::Tick now = drv_.eventq().now();
-        for (sim::Tick done_at : pend->second)
+        for (sim::Tick done_at : pendingDone_[id])
             leadTime_.sample(now >= done_at ? now - done_at : 0);
-        pendingDone_.erase(pend);
+        pendingDone_[id].clear(); // drained: capacity retained
+        --pendingExecs_;
     }
 
-    if (slots_.empty()) {
-        slots_.push_back(Slot{id, {}});
+    if (slotCount_ == 0) {
+        pushSlot(id);
         return;
     }
-    if (slots_.size() >= 2 && slots_[1].exec == id) {
+    if (slotCount_ >= 2 && slotAt(1).exec == id) {
         // Predicted correctly: slide the window.
         popFrontSlot();
     } else {
-        if (slots_.size() >= 2)
+        if (slotCount_ >= 2)
             ++mispredictedLaunches_;
         clearAllSlots();
-        slots_.push_back(Slot{id, {}});
+        pushSlot(id);
     }
 }
 
@@ -195,11 +219,11 @@ Prefetcher::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
                      sim::Tracer::arg("faultedBlocks",
                                       std::uint64_t(blocks.size()))});
 
-    if (slots_.empty())
-        slots_.push_back(Slot{cur, {}});
-    slots_[0].exec = cur;
+    if (slotCount_ == 0)
+        pushSlot(cur);
+    slotAt(0).exec = cur;
 
-    walk_.clear();
+    clearWalk();
     ++seenGen_;
     for (mem::BlockId b : blocks) {
         if (!markSeen(b))
@@ -218,13 +242,14 @@ Prefetcher::enterKernelTable(std::size_t slot)
 {
     if (!cfg_.freshTagChaining)
         return; // ablation: start-component chaining only
-    BlockCorrelationTable *bt = blockTables_.find(slots_[slot].exec);
+    BlockCorrelationTable *bt = blockTables_.find(slotAt(slot).exec);
     if (bt == nullptr)
         return;
     // Issue every live entry of the kernel's table, not only the
     // start component: blocks covered by prefetching stop faulting
     // and would otherwise fall out of the chain (see freshTags()).
-    for (mem::BlockId t : bt->freshTags(cfg_.freshEpochWindow)) {
+    bt->freshTags(cfg_.freshEpochWindow, freshScratch_);
+    for (mem::BlockId t : freshScratch_) {
         if (!markSeen(t))
             continue;
         bt->refresh(t);
@@ -252,7 +277,7 @@ Prefetcher::runChain()
             active_ = false;
             return;
         }
-        if (walk_.empty()) {
+        if (walkHead_ == walk_.size()) {
             // Correlations for this kernel are exhausted without
             // meeting the end block (it may sit in a replaced table
             // way). Everything known is enqueued, so move on to the
@@ -262,8 +287,7 @@ Prefetcher::runChain()
                 return;
             continue;
         }
-        mem::BlockId p = walk_.front();
-        walk_.pop_front();
+        mem::BlockId p = walk_[walkHead_++];
 
         BlockCorrelationTable *bt = blockTables_.find(predCur_);
         if (bt == nullptr) {
@@ -274,8 +298,11 @@ Prefetcher::runChain()
         // A visited entry is live: keep it in the fresh window even
         // when prefetching keeps it from ever faulting again.
         bt->refresh(p);
-        // Copy: issue() below can grow the table owner's maps.
-        std::vector<mem::BlockId> succs = bt->successors(p);
+        // The view aliases the table's successor slab. issue() only
+        // pushes into the driver's queue and the protection lists —
+        // it never touches the block tables — so iterating the slab
+        // in place is safe; no defensive copy.
+        SuccView succs = bt->successors(p);
         bool end_met = false;
         for (mem::BlockId s : succs) {
             if (!markSeen(s))
@@ -290,7 +317,7 @@ Prefetcher::runChain()
         // it early in an MRU list; drain the remaining known blocks
         // before transitioning so one stray edge cannot truncate the
         // kernel's coverage.
-        if (end_met && walk_.empty()) {
+        if (end_met && walkHead_ == walk_.size()) {
             if (!transitionChain())
                 return;
         }
@@ -322,9 +349,9 @@ Prefetcher::transitionChain()
                         {sim::Tracer::arg("exec", std::uint64_t(next)),
                          sim::Tracer::arg("depth",
                                           std::uint64_t(chainDepth_))});
-        while (slots_.size() <= chainDepth_)
-            slots_.push_back(Slot{});
-        slots_[chainDepth_].exec = next;
+        while (slotCount_ <= chainDepth_)
+            pushSlot(kNoExecId);
+        slotAt(chainDepth_).exec = next;
 
         const BlockCorrelationTable *bt = blockTables_.find(predCur_);
         if (bt == nullptr || bt->start() == uvm::kNoBlock) {
@@ -337,14 +364,14 @@ Prefetcher::transitionChain()
             if (chainDepth_ >= cfg_.lookaheadN) {
                 paused_ = true;
                 ++chainPauses_;
-                walk_.clear();
+                clearWalk();
                 ++seenGen_;
                 return true;
             }
             continue;
         }
 
-        walk_.clear();
+        clearWalk();
         ++seenGen_;
         markSeen(bt->start());
         issue(chainDepth_, bt->start());
@@ -371,7 +398,8 @@ Prefetcher::checkInvariants(sim::CheckContext &ctx) const
     // with the dense protection array exactly.
     std::vector<std::uint32_t> expected(protCount_.size(), 0);
     std::size_t expected_distinct = 0;
-    for (const Slot &s : slots_) {
+    for (std::size_t w = 0; w < slotCount_; ++w) {
+        const Slot &s = slotAt(w);
         for (const ProtEntry &e : s.blocks) {
             if (e.idx == uvm::kNoBlockIndex)
                 continue;
@@ -403,16 +431,32 @@ Prefetcher::checkInvariants(sim::CheckContext &ctx) const
                  "lists (%u)",
                  i, protCount_[i], expected[i]);
     }
-    ctx.require(slots_.size() <= std::size_t(cfg_.lookaheadN) + 2,
+    ctx.require(slotCount_ <= std::size_t(cfg_.lookaheadN) + 2,
                 "prediction window holds %zu slots, lookahead is %u",
-                slots_.size(), cfg_.lookaheadN);
-    ctx.require(chainDepth_ == 0 || chainDepth_ < slots_.size(),
+                slotCount_, cfg_.lookaheadN);
+    ctx.require(slotBuf_.size() == std::size_t(cfg_.lookaheadN) + 2,
+                "slot ring holds %zu slots, expected %zu",
+                slotBuf_.size(), std::size_t(cfg_.lookaheadN) + 2);
+    // Recycled (logically dead) ring slots must be fully drained, or
+    // popFrontSlot leaked protection references.
+    for (std::size_t i = slotCount_; i < slotBuf_.size(); ++i)
+        ctx.require(slotAt(i).blocks.empty(),
+                    "dead ring slot %zu still lists %zu blocks", i,
+                    slotAt(i).blocks.size());
+    ctx.require(chainDepth_ == 0 || chainDepth_ < slotCount_,
                 "chain cursor %u outside the %zu-slot window",
-                chainDepth_, slots_.size());
-    // det-ok(unordered-iter): order-independent audit
-    for (const auto &[id, ticks] : pendingDone_)
-        ctx.require(!ticks.empty(),
-                    "empty pending-completion list for exec %u", id);
+                chainDepth_, slotCount_);
+    ctx.require(walkHead_ <= walk_.size(),
+                "walk cursor %zu beyond the %zu-entry queue",
+                walkHead_, walk_.size());
+    std::size_t pending = 0;
+    for (ExecId id = 0; id < pendingDone_.size(); ++id)
+        if (!pendingDone_[id].empty())
+            ++pending;
+    ctx.require(pending == pendingExecs_,
+                "pending-completion counter %zu disagrees with %zu "
+                "non-empty slots",
+                pendingExecs_, pending);
 }
 
 void
@@ -420,14 +464,14 @@ Prefetcher::dumpState(std::ostream &os) const
 {
     os << "Prefetcher{active=" << active_ << " paused=" << paused_
        << " chainDepth=" << chainDepth_ << " predCur=" << predCur_
-       << " budget=" << budget_ << " slots=" << slots_.size()
+       << " budget=" << budget_ << " slots=" << slotCount_
        << " protected=" << protectedDistinct_
-       << " walk=" << walk_.size() << "}\n";
-    for (std::size_t i = 0; i < slots_.size(); ++i) {
-        os << "  slot " << i << ": exec=" << slots_[i].exec
-           << " blocks=[";
-        for (std::size_t j = 0; j < slots_[i].blocks.size(); ++j)
-            os << (j != 0 ? " " : "") << slots_[i].blocks[j].block;
+       << " walk=" << walk_.size() - walkHead_ << "}\n";
+    for (std::size_t i = 0; i < slotCount_; ++i) {
+        const Slot &s = slotAt(i);
+        os << "  slot " << i << ": exec=" << s.exec << " blocks=[";
+        for (std::size_t j = 0; j < s.blocks.size(); ++j)
+            os << (j != 0 ? " " : "") << s.blocks[j].block;
         os << "]\n";
     }
     os << "  protected:";

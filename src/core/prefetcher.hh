@@ -19,14 +19,20 @@
  * driver's BlockStore slab indices: the dedupe is epoch-stamped (a
  * generation bump is the O(1) per-activation clear) and the refcount
  * probe the eviction policy hits per LRU step is one array read.
+ *
+ * The steady-state chain walk is allocation-free: the prediction
+ * window is a fixed ring of slots whose protection lists keep their
+ * capacity across reuse, the walk queue is a reused vector consumed
+ * by index, successors() is a view into the table's inline slab, the
+ * fresh-tag sweep fills a reused scratch vector, and the pending
+ * completion ticks live in an ExecId-indexed dense table whose
+ * per-exec vectors are drained with clear() (capacity retained).
  */
 
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <iosfwd>
-#include <unordered_map>
 #include <vector>
 
 #include "core/block_correlation_table.hh"
@@ -43,7 +49,7 @@ class Prefetcher
 {
   public:
     Prefetcher(uvm::Driver &drv, ExecCorrelationTable &exec_table,
-               BlockTableMap &blocks, Correlator &correlator,
+               BlockCorrelationTableSet &blocks, Correlator &correlator,
                const DeepUmConfig &cfg, sim::StatSet &stats);
 
     /** The runtime announced the next kernel (actual transition). */
@@ -101,7 +107,8 @@ class Prefetcher
      * refcount array must equal the multiset union of the slot block
      * lists, live slot entries must name the slab slot their block
      * still occupies, the window must respect the lookahead bound,
-     * and the chain cursor must point into the window.
+     * the chain cursor must point into the window, and the pending
+     * completion table's non-empty counter must match its slots.
      */
     void checkInvariants(sim::CheckContext &ctx) const;
 
@@ -120,6 +127,21 @@ class Prefetcher
         ExecId exec = kNoExecId;
         std::vector<ProtEntry> blocks; ///< protected for this slot
     };
+
+    /** Window slot @p i (0 = running kernel, then predicted). */
+    Slot &
+    slotAt(std::size_t i)
+    {
+        return slotBuf_[(slotHead_ + i) % slotBuf_.size()];
+    }
+    const Slot &
+    slotAt(std::size_t i) const
+    {
+        return slotBuf_[(slotHead_ + i) % slotBuf_.size()];
+    }
+
+    /** Append a window slot for @p exec (ring reuse, no allocation). */
+    void pushSlot(ExecId exec);
 
     /** Size the index-keyed scratch arrays to the driver's slab. */
     void
@@ -148,6 +170,14 @@ class Prefetcher
             return false;
         seenEpoch_[i] = seenGen_;
         return true;
+    }
+
+    /** Reset the walk queue (keeps vector capacity). */
+    void
+    clearWalk()
+    {
+        walk_.clear();
+        walkHead_ = 0;
     }
 
     /** Drop one protection reference on slab slot @p i. */
@@ -179,27 +209,44 @@ class Prefetcher
 
     uvm::Driver &drv_;
     ExecCorrelationTable &execTable_;
-    BlockTableMap &blockTables_;
+    BlockCorrelationTableSet &blockTables_;
     Correlator &correlator_;
     const DeepUmConfig &cfg_;
 
-    std::deque<Slot> slots_; ///< [0] = running kernel, then predicted
+    /**
+     * The prediction window as a fixed ring: logical slot i lives at
+     * slotBuf_[(slotHead_ + i) % capacity]. Slots are recycled with
+     * their protection-list capacity intact, so the per-kernel
+     * window slide never allocates.
+     */
+    std::vector<Slot> slotBuf_;
+    std::size_t slotHead_ = 0;
+    std::size_t slotCount_ = 0;
 
     /** Protection refcounts, keyed by slab index. */
     std::vector<std::uint32_t> protCount_;
     /** Slots with a nonzero protection refcount. */
     std::size_t protectedDistinct_ = 0;
 
-    /** Prefetch completion ticks awaiting their predicted launch. */
-    std::unordered_map<ExecId, std::vector<sim::Tick>> pendingDone_;
+    /**
+     * Prefetch completion ticks awaiting their predicted launch,
+     * indexed by ExecId (dense). Drained slots keep their capacity.
+     */
+    std::vector<std::vector<sim::Tick>> pendingDone_;
+    std::size_t pendingExecs_ = 0; ///< non-empty pendingDone_ slots
 
     // Chain state.
     bool active_ = false;
     bool paused_ = false;
     ExecId predCur_ = kNoExecId;     ///< kernel being prefetched for
     ExecHistory predHist_{kNoExecId, kNoExecId, kNoExecId};
-    std::uint32_t chainDepth_ = 0;   ///< slots_ index being filled
-    std::deque<mem::BlockId> walk_;  ///< blocks whose succs to visit
+    std::uint32_t chainDepth_ = 0;   ///< window index being filled
+    /** Blocks whose successors to visit: a reused vector consumed by
+     * walkHead_ (FIFO without deque segment churn). */
+    std::vector<mem::BlockId> walk_;
+    std::size_t walkHead_ = 0;
+    /** Scratch for the fresh-tag sweep (reused across activations). */
+    std::vector<mem::BlockId> freshScratch_;
     /** Epoch-stamped walk dedupe, keyed by slab index. */
     std::vector<std::uint64_t> seenEpoch_;
     std::uint64_t seenGen_ = 1;      ///< current walk generation

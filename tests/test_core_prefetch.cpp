@@ -27,7 +27,7 @@ namespace {
 
 struct TableFixture {
     ExecCorrelationTable exec;
-    BlockTableMap blocks{BlockTableConfig{64, 2, 4}};
+    BlockCorrelationTableSet blocks{BlockTableConfig{64, 2, 4}};
     Correlator corr{exec, blocks};
 };
 

@@ -126,7 +126,7 @@ TEST(BlockCorrelationTable, RecordsSuccessorsMruFirst)
     BlockCorrelationTable t(smallCfg());
     t.record(100, 101);
     t.record(100, 102);
-    auto &s = t.successors(100);
+    auto s = t.successors(100);
     ASSERT_EQ(s.size(), 2u);
     EXPECT_EQ(s[0], 102u); // most recent first
     EXPECT_EQ(s[1], 101u);
@@ -138,7 +138,7 @@ TEST(BlockCorrelationTable, SuccessorListCapsAtNumSuccs)
     t.record(100, 101);
     t.record(100, 102);
     t.record(100, 103); // evicts 101 (LRU of the MRU list)
-    auto &s = t.successors(100);
+    auto s = t.successors(100);
     ASSERT_EQ(s.size(), 2u);
     EXPECT_EQ(s[0], 103u);
     EXPECT_EQ(s[1], 102u);
@@ -150,7 +150,7 @@ TEST(BlockCorrelationTable, DuplicateSuccessorRefreshesOrder)
     t.record(100, 101);
     t.record(100, 102);
     t.record(100, 101); // refresh, no growth
-    auto &s = t.successors(100);
+    auto s = t.successors(100);
     ASSERT_EQ(s.size(), 2u);
     EXPECT_EQ(s[0], 101u);
 }
@@ -254,9 +254,9 @@ TEST(BlockCorrelationTable, SizeBytesMatchesGeometry)
     EXPECT_EQ(tb.sizeBytes() - fixed, 16 * (ta.sizeBytes() - fixed));
 }
 
-TEST(BlockTableMap, LazyAllocationPerExecId)
+TEST(BlockCorrelationTableSet, LazyAllocationPerExecId)
 {
-    BlockTableMap m(smallCfg());
+    BlockCorrelationTableSet m(smallCfg());
     EXPECT_EQ(m.tableCount(), 0u);
     EXPECT_EQ(m.find(3), nullptr);
     auto &t = m.getOrCreate(3);
@@ -266,9 +266,9 @@ TEST(BlockTableMap, LazyAllocationPerExecId)
     EXPECT_EQ(m.tableCount(), 1u);
 }
 
-TEST(BlockTableMap, TotalSizeScalesWithTables)
+TEST(BlockCorrelationTableSet, TotalSizeScalesWithTables)
 {
-    BlockTableMap m(smallCfg());
+    BlockCorrelationTableSet m(smallCfg());
     m.getOrCreate(0);
     auto one = m.totalSizeBytes();
     m.getOrCreate(1);
