@@ -133,7 +133,7 @@ BlockCorrelationTable::freshTags(std::uint32_t window,
         if (e.tag == uvm::kNoBlock)
             continue;
         if (e.lastEpoch + window >= epoch_)
-            out.push_back(e.tag);
+            support::pushAmortized(out, e.tag);
     }
 }
 

@@ -31,6 +31,7 @@
 #include "core/config.hh"
 #include "core/execution_id_table.hh"
 #include "mem/addr.hh"
+#include "support/annotations.hh"
 #include "uvm/block_info.hh"
 
 namespace deepum::sim {
@@ -42,11 +43,15 @@ namespace deepum::core {
 /**
  * Borrowed, read-only view of one entry's successor list (MRU
  * first). A value type over the table's stable successor slab: the
- * pointed-to storage lives as long as the table, so holding a view
- * across record() is safe — the view observes the updated contents
- * rather than dangling. Invalidated only by destroying the table.
+ * pointed-to storage lives as long as the table, so a stale view
+ * never dangles. It is still *logically* invalidated by mutation —
+ * the view captures its length at creation but re-reads contents, so
+ * holding one across record()/erase() observes a mixed stale-length/
+ * updated-contents state. The analyzer's view-escape check enforces
+ * the contract: views must not be stored in fields or containers,
+ * nor held live across DEEPUM_INVALIDATES_VIEWS methods.
  */
-class SuccView
+class DEEPUM_VIEW SuccView
 {
   public:
     SuccView() = default;
@@ -79,13 +84,14 @@ class BlockCorrelationTable
      * successor list. Never allocates: the entry and successor slabs
      * are sized at construction.
      */
+    DEEPUM_NOALLOC DEEPUM_INVALIDATES_VIEWS
     void record(mem::BlockId prev, mem::BlockId next);
 
     /**
      * Successors of @p b, MRU first. Empty when @p b has no entry.
      * Returned by value; see SuccView for the lifetime contract.
      */
-    SuccView successors(mem::BlockId b) const;
+    DEEPUM_NOALLOC SuccView successors(mem::BlockId b) const;
 
     /** First faulted block of the kernel's executions. */
     mem::BlockId start() const { return start_; }
@@ -111,8 +117,9 @@ class BlockCorrelationTable
      * best seen; after several consecutive rejections accept the new
      * (genuinely shorter) pattern.
      */
-    void captureStartEnd(mem::BlockId start, mem::BlockId end,
-                         std::uint32_t len);
+    DEEPUM_NOALLOC void captureStartEnd(mem::BlockId start,
+                                        mem::BlockId end,
+                                        std::uint32_t len);
 
     /** Longest committed fault-sequence length (tests). */
     std::uint32_t bestSequenceLen() const { return bestLen_; }
@@ -130,14 +137,14 @@ class BlockCorrelationTable
      * lets the prefetcher reuse one scratch vector across
      * activations (allocation-free steady state).
      */
-    void freshTags(std::uint32_t window,
-                   std::vector<mem::BlockId> &out) const;
+    DEEPUM_NOALLOC void freshTags(std::uint32_t window,
+                                  std::vector<mem::BlockId> &out) const;
 
     /** Convenience allocating form (tests). */
     std::vector<mem::BlockId> freshTags(std::uint32_t window) const;
 
     /** Mark @p b's entry as used this epoch (chain visit). */
-    void refresh(mem::BlockId b);
+    DEEPUM_NOALLOC void refresh(mem::BlockId b);
 
     /**
      * Drop @p b's entry. Called when a prefetch predicted from this
@@ -145,7 +152,7 @@ class BlockCorrelationTable
      * so the entry is stale (a leftover from an earlier allocator
      * placement) and must stop feeding the chain.
      */
-    void erase(mem::BlockId b);
+    DEEPUM_NOALLOC DEEPUM_INVALIDATES_VIEWS void erase(mem::BlockId b);
 
     /**
      * Scrub every reference to blocks in [@p first, @p end): entries
@@ -154,6 +161,7 @@ class BlockCorrelationTable
      * range is freed so the table never feeds dead blocks to the
      * prefetcher.
      */
+    DEEPUM_INVALIDATES_VIEWS
     void eraseRange(mem::BlockId first, mem::BlockId end);
 
     /** Executions (with faults) this table has seen. */

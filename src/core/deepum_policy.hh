@@ -27,6 +27,7 @@ class DeepUmPolicy : public uvm::EvictionPolicy
     {
     }
 
+    DEEPUM_NOALLOC
     mem::BlockId pickVictim(const uvm::Driver &drv, bool demand) override;
     const char *name() const override { return "deepum"; }
 

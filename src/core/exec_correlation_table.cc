@@ -12,8 +12,7 @@ ExecCorrelationTable::record(ExecId cur, const ExecHistory &hist,
                              ExecId next)
 {
     DEEPUM_ASSERT(cur != kNoExecId, "record under kNoExecId");
-    if (cur >= entries_.size())
-        entries_.resize(std::size_t(cur) + 1);
+    growEntries(cur);
     Entry &e = entries_[cur];
     if (e.count == 0)
         ++liveEntries_;
@@ -34,7 +33,7 @@ ExecCorrelationTable::record(ExecId cur, const ExecHistory &hist,
     // before) can touch the heap, and only once count exceeds the
     // inline capacity.
     if (e.count >= kInlineRecords)
-        e.overflow.emplace_back();
+        growOverflow(e);
     ++e.count;
     for (std::uint32_t j = e.count - 1; j > 0; --j)
         e.at(j) = e.at(j - 1);

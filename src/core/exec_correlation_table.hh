@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "core/execution_id_table.hh"
+#include "support/annotations.hh"
 
 namespace deepum::sim {
 class CheckContext;
@@ -54,6 +55,7 @@ class ExecCorrelationTable
      * kernel with preceding history @p hist. Duplicate records are
      * moved to MRU position instead of duplicated.
      */
+    DEEPUM_NOALLOC
     void record(ExecId cur, const ExecHistory &hist, ExecId next);
 
     /**
@@ -61,8 +63,8 @@ class ExecCorrelationTable
      * Exact history match wins; optionally falls back to the MRU
      * record. @return kNoExecId when no prediction is possible.
      */
-    ExecId predict(ExecId cur, const ExecHistory &hist,
-                   bool mru_fallback = true) const;
+    DEEPUM_NOALLOC ExecId predict(ExecId cur, const ExecHistory &hist,
+                                  bool mru_fallback = true) const;
 
     /** Records stored under @p cur (for tests and stats). */
     std::size_t recordCount(ExecId cur) const;
@@ -109,6 +111,23 @@ class ExecCorrelationTable
                                       : overflow[i - kInlineRecords];
         }
     };
+
+    /** Grow the dense entry table to cover @p cur. */
+    DEEPUM_ALLOC_OK("entry table grows with the ExecId space")
+    void
+    growEntries(ExecId cur)
+    {
+        if (cur >= entries_.size())
+            entries_.resize(std::size_t(cur) + 1);
+    }
+
+    /** Add one overflow slot to @p e (cold: unseen history). */
+    DEEPUM_ALLOC_OK("overflow tail only grows on a never-seen history")
+    static void
+    growOverflow(Entry &e)
+    {
+        e.overflow.emplace_back();
+    }
 
     std::vector<Entry> entries_;    ///< indexed by ExecId
     std::size_t liveEntries_ = 0;   ///< entries with count > 0

@@ -70,7 +70,7 @@ void
 Prefetcher::protect(std::size_t slot, mem::BlockId b)
 {
     uvm::BlockIndex i = drv_.store().find(b);
-    slotAt(slot).blocks.push_back(ProtEntry{b, i});
+    support::pushAmortized(slotAt(slot).blocks, ProtEntry{b, i});
     if (i == uvm::kNoBlockIndex)
         return; // unknown block: nothing to refcount
     growScratch();
@@ -159,11 +159,10 @@ Prefetcher::onPrefetchCompleted(mem::BlockId block, ExecId exec_id,
         leadTime_.sample(0);
         return;
     }
-    if (exec_id >= pendingDone_.size())
-        pendingDone_.resize(std::size_t(exec_id) + 1);
+    growPending(exec_id);
     if (pendingDone_[exec_id].empty())
         ++pendingExecs_;
-    pendingDone_[exec_id].push_back(at);
+    support::pushAmortized(pendingDone_[exec_id], at);
 }
 
 void
@@ -212,12 +211,7 @@ Prefetcher::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
     chainDepth_ = 0;
     budget_ = cfg_.chainEnqueueCap;
     ++chainsStarted_;
-    if (auto *tr = drv_.eventq().tracer())
-        tr->instant(sim::Track::PrefetchQueue, "chainStart",
-                    drv_.eventq().now(),
-                    {sim::Tracer::arg("exec", std::uint64_t(cur)),
-                     sim::Tracer::arg("faultedBlocks",
-                                      std::uint64_t(blocks.size()))});
+    traceChainStart(cur, blocks.size());
 
     if (slotCount_ == 0)
         pushSlot(cur);
@@ -231,7 +225,7 @@ Prefetcher::onFaultBlocks(const std::vector<mem::BlockId> &blocks)
         // The faulted blocks are demand-migrating; protect them for
         // the current kernel and walk their successors.
         protect(0, b);
-        walk_.push_back(b);
+        support::pushAmortized(walk_, b);
     }
     enterKernelTable(0);
     runChain();
@@ -254,10 +248,32 @@ Prefetcher::enterKernelTable(std::size_t slot)
             continue;
         bt->refresh(t);
         issue(slot, t);
-        walk_.push_back(t);
+        support::pushAmortized(walk_, t);
         if (budget_ == 0)
             return;
     }
+}
+
+void
+Prefetcher::traceChainStart(ExecId cur, std::size_t faulted) const
+{
+    if (auto *tr = drv_.eventq().tracer())
+        tr->instant(sim::Track::PrefetchQueue, "chainStart",
+                    drv_.eventq().now(),
+                    {sim::Tracer::arg("exec", std::uint64_t(cur)),
+                     sim::Tracer::arg("faultedBlocks",
+                                      std::uint64_t(faulted))});
+}
+
+void
+Prefetcher::tracePredictNext(ExecId next) const
+{
+    if (auto *tr = drv_.eventq().tracer())
+        tr->instant(sim::Track::PrefetchQueue, "predictNext",
+                    drv_.eventq().now(),
+                    {sim::Tracer::arg("exec", std::uint64_t(next)),
+                     sim::Tracer::arg("depth",
+                                      std::uint64_t(chainDepth_))});
 }
 
 void
@@ -310,7 +326,7 @@ Prefetcher::runChain()
             issue(chainDepth_, s);
             if (s == bt->end())
                 end_met = true;
-            walk_.push_back(s);
+            support::pushAmortized(walk_, s);
         }
         // Meeting the end block signals the kernel's chain is
         // complete, but residual-fault "shortcut" edges can surface
@@ -343,12 +359,7 @@ Prefetcher::transitionChain()
         predHist_ = ExecHistory{predHist_[1], predHist_[2], predCur_};
         predCur_ = next;
         ++chainDepth_;
-        if (auto *tr = drv_.eventq().tracer())
-            tr->instant(sim::Track::PrefetchQueue, "predictNext",
-                        drv_.eventq().now(),
-                        {sim::Tracer::arg("exec", std::uint64_t(next)),
-                         sim::Tracer::arg("depth",
-                                          std::uint64_t(chainDepth_))});
+        tracePredictNext(next);
         while (slotCount_ <= chainDepth_)
             pushSlot(kNoExecId);
         slotAt(chainDepth_).exec = next;
@@ -375,7 +386,7 @@ Prefetcher::transitionChain()
         ++seenGen_;
         markSeen(bt->start());
         issue(chainDepth_, bt->start());
-        walk_.push_back(bt->start());
+        support::pushAmortized(walk_, bt->start());
         enterKernelTable(chainDepth_);
 
         if (chainDepth_ >= cfg_.lookaheadN) {

@@ -27,6 +27,10 @@
  * fresh-tag sweep fills a reused scratch vector, and the pending
  * completion ticks live in an ExecId-indexed dense table whose
  * per-exec vectors are drained with clear() (capacity retained).
+ * That contract is machine-checked: the fault/chain entry points are
+ * DEEPUM_NOALLOC and tools/analyzer/ proves their call graphs reach
+ * allocation only through the documented DEEPUM_ALLOC_OK hatches
+ * (scratch/table growth, amortized vector growth, opt-in tracing).
  */
 
 #pragma once
@@ -40,6 +44,7 @@
 #include "core/correlator.hh"
 #include "core/exec_correlation_table.hh"
 #include "sim/stats.hh"
+#include "support/annotations.hh"
 #include "uvm/driver.hh"
 
 namespace deepum::core {
@@ -53,21 +58,22 @@ class Prefetcher
                const DeepUmConfig &cfg, sim::StatSet &stats);
 
     /** The runtime announced the next kernel (actual transition). */
-    void onKernelLaunch(ExecId id);
+    DEEPUM_NOALLOC void onKernelLaunch(ExecId id);
 
     /** A preprocessed fault batch arrived: restart chaining. */
+    DEEPUM_NOALLOC
     void onFaultBlocks(const std::vector<mem::BlockId> &blocks);
 
     /** The running kernel finished: resume a paused chain. */
-    void onKernelEnd();
+    DEEPUM_NOALLOC void onKernelEnd();
 
     /**
      * A prefetched block became resident at @p at, predicted for
      * @p exec_id. Feeds the lead-time distribution (how far ahead of
      * the consuming kernel's launch the prefetch completed).
      */
-    void onPrefetchCompleted(mem::BlockId block, ExecId exec_id,
-                             sim::Tick at);
+    DEEPUM_NOALLOC void onPrefetchCompleted(mem::BlockId block,
+                                            ExecId exec_id, sim::Tick at);
 
     /**
      * The driver dropped [first, end): release the protection held
@@ -80,14 +86,14 @@ class Prefetcher
      * @return true if @p b is predicted to be used by the current or
      * next N kernels (the pre-eviction protection test).
      */
-    bool
+    DEEPUM_NOALLOC bool
     isProtected(mem::BlockId b) const
     {
         return isProtectedIndex(drv_.store().find(b));
     }
 
     /** isProtected for a block already resolved to its slab slot. */
-    bool
+    DEEPUM_NOALLOC bool
     isProtectedIndex(uvm::BlockIndex i) const
     {
         return i < protCount_.size() && protCount_[i] != 0;
@@ -141,9 +147,10 @@ class Prefetcher
     }
 
     /** Append a window slot for @p exec (ring reuse, no allocation). */
-    void pushSlot(ExecId exec);
+    DEEPUM_NOALLOC void pushSlot(ExecId exec);
 
     /** Size the index-keyed scratch arrays to the driver's slab. */
+    DEEPUM_ALLOC_OK("scratch arrays grow with the slab, not per fault")
     void
     growScratch()
     {
@@ -159,7 +166,7 @@ class Prefetcher
      * visit. Unknown blocks count as first visits (the driver drops
      * their enqueues; matches the former hash-set semantics).
      */
-    bool
+    DEEPUM_NOALLOC bool
     markSeen(mem::BlockId b)
     {
         uvm::BlockIndex i = drv_.store().find(b);
@@ -173,39 +180,56 @@ class Prefetcher
     }
 
     /** Reset the walk queue (keeps vector capacity). */
-    void
+    DEEPUM_NOALLOC void
     clearWalk()
     {
         walk_.clear();
         walkHead_ = 0;
     }
 
+    /** Grow the pending-completion table to cover @p exec_id. */
+    DEEPUM_ALLOC_OK("pending table grows with the ExecId space")
+    void
+    growPending(ExecId exec_id)
+    {
+        if (exec_id >= pendingDone_.size())
+            pendingDone_.resize(std::size_t(exec_id) + 1);
+    }
+
     /** Drop one protection reference on slab slot @p i. */
-    void dropProt(uvm::BlockIndex i);
+    DEEPUM_NOALLOC void dropProt(uvm::BlockIndex i);
 
     /** Add @p b to @p slot's protection list. */
-    void protect(std::size_t slot, mem::BlockId b);
+    DEEPUM_NOALLOC void protect(std::size_t slot, mem::BlockId b);
 
     /** Drop the front slot (its kernel retired or mispredicted). */
-    void popFrontSlot();
+    DEEPUM_NOALLOC void popFrontSlot();
 
     /** Drop every slot and kill the chain. */
-    void clearAllSlots();
+    DEEPUM_NOALLOC void clearAllSlots();
 
     /** Enqueue @p b and protect it for slot @p slot. */
-    void issue(std::size_t slot, mem::BlockId b);
+    DEEPUM_NOALLOC void issue(std::size_t slot, mem::BlockId b);
 
     /** Issue all live entries of @p slot's kernel table. */
-    void enterKernelTable(std::size_t slot);
+    DEEPUM_NOALLOC void enterKernelTable(std::size_t slot);
 
     /** Walk successors until pause/death/budget-exhaustion. */
-    void runChain();
+    DEEPUM_NOALLOC void runChain();
 
     /**
      * Met the end block: predict the next kernel and move the chain
      * to its start block. @return false if the chain dies.
      */
-    bool transitionChain();
+    DEEPUM_NOALLOC bool transitionChain();
+
+    /** Emit the chain-start trace marker (tracing is opt-in). */
+    DEEPUM_ALLOC_OK("tracer args build strings; tracing is opt-in")
+    void traceChainStart(ExecId cur, std::size_t faulted) const;
+
+    /** Emit the next-kernel-prediction trace marker. */
+    DEEPUM_ALLOC_OK("tracer args build strings; tracing is opt-in")
+    void tracePredictNext(ExecId next) const;
 
     uvm::Driver &drv_;
     ExecCorrelationTable &execTable_;

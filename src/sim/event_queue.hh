@@ -28,6 +28,7 @@
 
 #include "sim/inline_fn.hh"
 #include "sim/types.hh"
+#include "support/annotations.hh"
 
 namespace deepum::sim {
 
@@ -74,14 +75,21 @@ class EventQueue
     /**
      * Run until the queue drains or @p limit events have executed.
      * @return the final simulated time.
+     *
+     * The pop/dispatch machinery is DEEPUM_NOALLOC: draining the
+     * calendar never allocates (bucket sort and heap pops are in
+     * place, invoking the inline callable is one indirect call). The
+     * contract covers the queue itself, not the dispatched closure
+     * bodies — those are type-erased and audited at their own
+     * definition sites.
      */
-    Tick run(std::uint64_t limit = ~std::uint64_t(0));
+    DEEPUM_NOALLOC Tick run(std::uint64_t limit = ~std::uint64_t(0));
 
     /**
      * Execute at most one event.
      * @return true if an event was executed.
      */
-    bool step();
+    DEEPUM_NOALLOC bool step();
 
     /**
      * Drop all pending events and return the queue to its freshly
@@ -145,16 +153,17 @@ class EventQueue
         return static_cast<std::size_t>(bn) & kSlotMask;
     }
 
-    void markOccupied(std::size_t slot);
-    void markEmpty(std::size_t slot);
+    DEEPUM_NOALLOC void markOccupied(std::size_t slot);
+    DEEPUM_NOALLOC void markEmpty(std::size_t slot);
 
     /** Ring distance from slot(winStart_) to the next occupied slot. */
-    std::size_t nextOccupiedDistance() const;
+    DEEPUM_NOALLOC std::size_t nextOccupiedDistance() const;
 
     /** Move overflow events that now fall inside the window. */
-    void migrateOverflow();
+    DEEPUM_NOALLOC void migrateOverflow();
 
     /** Insert @p e into its ring bucket (must be inside the window). */
+    DEEPUM_ALLOC_OK("calendar buckets retain capacity across drains")
     void insertNear(Entry &&e);
 
     /** Ring of unsorted future buckets; sorted only when drained. */

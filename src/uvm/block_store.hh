@@ -27,6 +27,7 @@
 #include <vector>
 
 #include "mem/addr.hh"
+#include "support/annotations.hh"
 #include "uvm/block_info.hh"
 
 namespace deepum::sim {
@@ -49,7 +50,7 @@ class BlockStore
     // --- lookup (the fault-path hot probe) --------------------------
 
     /** Slab index of @p b, or kNoBlockIndex when unregistered. */
-    BlockIndex
+    DEEPUM_NOALLOC BlockIndex
     find(mem::BlockId b) const
     {
         // One-entry cache: faults, migrations and walks hit the same
@@ -64,14 +65,22 @@ class BlockStore
     }
 
     /** True if @p b is registered. */
-    bool contains(mem::BlockId b) const { return find(b) != kNoBlockIndex; }
+    DEEPUM_NOALLOC bool
+    contains(mem::BlockId b) const
+    {
+        return find(b) != kNoBlockIndex;
+    }
 
     /** The record in slot @p i (must be a live slot). */
-    BlockInfo &at(BlockIndex i) { return slab_[i]; }
-    const BlockInfo &at(BlockIndex i) const { return slab_[i]; }
+    DEEPUM_NOALLOC BlockInfo &at(BlockIndex i) { return slab_[i]; }
+    DEEPUM_NOALLOC const BlockInfo &
+    at(BlockIndex i) const
+    {
+        return slab_[i];
+    }
 
     /** BlockId backing slot @p i (kNoBlock for free slots). */
-    mem::BlockId idAt(BlockIndex i) const { return ids_[i]; }
+    DEEPUM_NOALLOC mem::BlockId idAt(BlockIndex i) const { return ids_[i]; }
 
     /** Registered (live) blocks. */
     std::size_t size() const { return size_; }
@@ -81,7 +90,7 @@ class BlockStore
     std::size_t slabSize() const { return slab_.size(); }
 
     /** The registered run containing @p b, or nullptr. */
-    const Range *rangeContaining(mem::BlockId b) const;
+    DEEPUM_NOALLOC const Range *rangeContaining(mem::BlockId b) const;
 
     // --- registration ----------------------------------------------
 
@@ -91,6 +100,7 @@ class BlockStore
      * default-constructed records. Panics if any block of the run is
      * already registered.
      */
+    DEEPUM_INVALIDATES_VIEWS
     BlockIndex registerRun(mem::BlockId first, mem::BlockId end);
 
     /**
@@ -98,12 +108,13 @@ class BlockStore
      * registered run; its slots join the free list (coalesced). The
      * caller must already have unlinked resident blocks from the LRU.
      */
+    DEEPUM_INVALIDATES_VIEWS
     void unregisterRun(mem::BlockId first, mem::BlockId end);
 
     // --- intrusive least-recently-migrated list ---------------------
 
     /** Append slot @p i (must not be linked) at the MRU end. */
-    void
+    DEEPUM_NOALLOC void
     lruPushBack(BlockIndex i)
     {
         BlockInfo &bi = slab_[i];
@@ -118,7 +129,7 @@ class BlockStore
     }
 
     /** Unlink slot @p i (must be linked). */
-    void
+    DEEPUM_NOALLOC void
     lruErase(BlockIndex i)
     {
         BlockInfo &bi = slab_[i];
@@ -146,9 +157,12 @@ class BlockStore
 
     /**
      * Range-for view over the LRU as BlockIds, oldest migration
-     * first — the shape the policies and audits consume.
+     * first — the shape the policies and audits consume. A
+     * DEEPUM_VIEW: do not store one in a field/container or hold it
+     * across registerRun()/unregisterRun() (slab growth and slot
+     * reuse invalidate the traversal).
      */
-    class LruView
+    class DEEPUM_VIEW LruView
     {
       public:
         class iterator
@@ -193,7 +207,7 @@ class BlockStore
         const BlockStore *st_;
     };
 
-    LruView lruOrder() const { return LruView(this); }
+    DEEPUM_NOALLOC LruView lruOrder() const { return LruView(this); }
 
     // --- whole-store iteration (BlockId order, deterministic) -------
 
@@ -231,7 +245,7 @@ class BlockStore
         BlockIndex len = 0;
     };
 
-    BlockIndex findSlow(mem::BlockId b) const;
+    DEEPUM_NOALLOC BlockIndex findSlow(mem::BlockId b) const;
 
     /** Allocate @p n contiguous slots (first fit, else slab growth). */
     BlockIndex allocSlots(BlockIndex n);

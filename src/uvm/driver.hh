@@ -111,7 +111,14 @@ class Driver : public sim::SimObject, public gpu::UvmBackend
      * prediction was made at (0 = the running kernel; ledger input).
      * @return false if dropped (full queue, already resident/queued,
      * or unknown block).
+     *
+     * The prefetcher's DEEPUM_NOALLOC chain walk prunes at this
+     * boundary: the command queue is a fixed ring, and the residual
+     * drain event / tracer counter it may arm are amortized or
+     * opt-in, not per-command costs.
      */
+    DEEPUM_ALLOC_OK("fixed command ring; drain event and tracing "
+                    "are amortized or opt-in")
     bool enqueuePrefetch(mem::BlockId block, std::uint32_t exec_id,
                          std::uint32_t depth = 0);
 

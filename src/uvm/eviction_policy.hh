@@ -12,6 +12,7 @@
 #pragma once
 
 #include "mem/addr.hh"
+#include "support/annotations.hh"
 
 namespace deepum::uvm {
 
@@ -29,7 +30,12 @@ class EvictionPolicy
      * fault critical path (a demand fault must always make progress;
      * a prefetch may rather be dropped than evict useful data).
      * @return the victim, or kNoBlock when nothing is evictable.
+     *
+     * Runs per evicted block on the fault critical path, so every
+     * implementation is DEEPUM_NOALLOC (annotate overrides too — the
+     * attribute does not propagate through the vtable).
      */
+    DEEPUM_NOALLOC
     virtual mem::BlockId pickVictim(const Driver &drv, bool demand) = 0;
 
     /** Short policy name for logs. */
@@ -42,6 +48,7 @@ class EvictionPolicy
 class LruMigratedPolicy : public EvictionPolicy
 {
   public:
+    DEEPUM_NOALLOC
     mem::BlockId pickVictim(const Driver &drv, bool demand) override;
     const char *name() const override { return "lru-migrated"; }
 };

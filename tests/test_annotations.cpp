@@ -1,0 +1,131 @@
+/**
+ * @file
+ * The semantic-lint annotation layer (support/annotations.hh) must be
+ * free: pure metadata when compiled in (clang), absent under gcc or
+ * -DDEEPUM_DISABLE_ANNOTATIONS, and never a change in behavior
+ * either way (CI diffs an annotated against an unannotated clang
+ * build byte-for-byte; this test pins the parts a unit test can).
+ * Also covers the value-type guarantees the analyzer's view-escape
+ * check leans on and the pushAmortized hatch semantics.
+ */
+
+#include <gtest/gtest.h>
+
+#include <type_traits>
+#include <vector>
+
+#include "core/block_correlation_table.hh"
+#include "core/exec_correlation_table.hh"
+#include "support/annotations.hh"
+#include "uvm/block_store.hh"
+
+using namespace deepum;
+using namespace deepum::core;
+
+// The feature flag always exists and is exactly 0 or 1, tracking the
+// toolchain: annotations on under clang (unless disabled), off
+// everywhere else — where the attribute would be an unknown-attribute
+// warning under -Werror.
+static_assert(DEEPUM_ANNOTATIONS_ENABLED == 0 ||
+              DEEPUM_ANNOTATIONS_ENABLED == 1);
+#if defined(__clang__) && !defined(DEEPUM_NO_ANNOTATIONS)
+static_assert(DEEPUM_ANNOTATIONS_ENABLED == 1,
+              "clang builds carry the analyzer annotations");
+#else
+static_assert(DEEPUM_ANNOTATIONS_ENABLED == 0,
+              "annotations must compile out entirely");
+#endif
+
+// DEEPUM_VIEW types stay trivially copyable register-sized value
+// types regardless of the annotation: pass-by-value and
+// return-by-value are free, which is why storing them (rather than
+// re-acquiring) buys nothing and the view-escape check can forbid it.
+static_assert(std::is_trivially_copyable_v<SuccView>);
+static_assert(sizeof(SuccView) <= 2 * sizeof(void *));
+static_assert(std::is_trivially_copyable_v<uvm::BlockStore::LruView>);
+static_assert(sizeof(uvm::BlockStore::LruView) == sizeof(void *));
+
+namespace {
+
+// Every macro must be attachable to its entity kind and inert.
+DEEPUM_NOALLOC int
+annotatedFn(int x)
+{
+    return x + 1;
+}
+
+DEEPUM_ALLOC_OK("test hatch: growth is the point here")
+void
+annotatedGrow(std::vector<int> &v)
+{
+    v.push_back(1);
+}
+
+struct DEEPUM_VIEW LocalView {
+    const int *p = nullptr;
+};
+
+struct Mutable {
+    DEEPUM_INVALIDATES_VIEWS void mutate() { ++gen; }
+    int gen = 0;
+};
+
+} // namespace
+
+TEST(Annotations, MacroSurfaceIsInert)
+{
+    EXPECT_EQ(annotatedFn(41), 42);
+    std::vector<int> v;
+    annotatedGrow(v);
+    EXPECT_EQ(v.size(), 1u);
+    Mutable m;
+    m.mutate();
+    EXPECT_EQ(m.gen, 1);
+    LocalView lv;
+    EXPECT_EQ(lv.p, nullptr);
+}
+
+TEST(Annotations, PushAmortizedAppendsInPlaceWithinCapacity)
+{
+    std::vector<int> v;
+    v.reserve(8);
+    const int *data = v.data();
+    for (int i = 0; i < 8; ++i)
+        support::pushAmortized(v, i);
+    ASSERT_EQ(v.size(), 8u);
+    // Within retained capacity the hatch is a plain append: no
+    // reallocation, elements in order.
+    EXPECT_EQ(v.data(), data);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(v[i], i);
+    // Beyond capacity it is amortized growth toward a new high-water
+    // mark — legal (that is what the ALLOC_OK reason documents).
+    support::pushAmortized(v, 8);
+    EXPECT_EQ(v.size(), 9u);
+    EXPECT_EQ(v.back(), 8);
+}
+
+// The annotated hot-path methods must behave like ordinary code:
+// record/successors and record/predict round-trips through the
+// DEEPUM_NOALLOC entry points.
+TEST(Annotations, AnnotatedHotPathsBehave)
+{
+    BlockTableConfig cfg;
+    cfg.numRows = 16;
+    cfg.assoc = 2;
+    cfg.numSuccs = 4;
+    BlockCorrelationTable bt(cfg);
+    const mem::BlockId a = 100, b = 101, c = 102;
+    bt.record(a, b);
+    bt.record(a, c);
+    SuccView s = bt.successors(a);
+    ASSERT_EQ(s.size(), 2u);
+    EXPECT_EQ(s[0], c); // MRU first
+    EXPECT_EQ(s[1], b);
+
+    ExecCorrelationTable et;
+    const ExecHistory h{kNoExecId, kNoExecId, kNoExecId};
+    et.record(1, h, 2);
+    EXPECT_EQ(et.predict(1, h), 2u);
+    EXPECT_EQ(et.predict(7, h), kNoExecId);
+}

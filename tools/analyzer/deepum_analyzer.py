@@ -1,0 +1,936 @@
+#!/usr/bin/env python3
+"""deepum-analyzer: AST-accurate semantic lint for the DeepUM codebase.
+
+Runs libclang (python `clang.cindex`) over `compile_commands.json` and
+enforces five checks (DESIGN.md section 3.11):
+
+  noalloc        Functions annotated DEEPUM_NOALLOC must never reach
+                 operator new or an allocating std-container method,
+                 transitively through every statically-resolvable
+                 callee. DEEPUM_ALLOC_OK(reason) hatches prune the
+                 walk; [[noreturn]]-style terminators (panic, fatal,
+                 assertFailed, abort, ...) are pruned by name.
+  view-escape    Types annotated DEEPUM_VIEW must not be stored in
+                 fields or containers, and a live view local must not
+                 be used after a call to a DEEPUM_INVALIDATES_VIEWS
+                 method.
+  unordered-iter Range-for over std::unordered_* containers (iteration
+                 order is address-dependent). AST-accurate: catches
+                 typedef/auto aliases the old regex rule was blind to.
+  ptr-key        std::map/std::set (and multi variants) keyed by raw
+                 pointers with the default std::less comparator.
+  strong-id      Raw arithmetic or initialization/assignment mixing
+                 distinct ID families (ExecId, BlockId, PageId, VAddr,
+                 Tick, BlockIndex) without an explicit cast.
+
+Suppressions, in preference order:
+  1. DEEPUM_ALLOC_OK("reason") on the function (noalloc only).
+  2. An inline `// sa-ok(<check>): reason` comment on the finding's
+     line or the line above. unordered-iter and ptr-key also honor
+     the legacy `det-ok(<rule>)` spelling so suppressions carried
+     over from tools/lint_determinism.py keep working.
+  3. An allowlist file (--allowlist): `<check> <path-suffix>
+     <substring-or-*>` per line, `#` comments.
+
+Exit codes: 0 clean, 1 findings, 2 usage/configuration error,
+3 libclang unavailable (skipped).
+
+Usage:
+  deepum_analyzer.py -p build-analyze --allowlist tools/analyzer/analyzer_allowlist.txt src
+"""
+
+import argparse
+import json
+import os
+import re
+import shlex
+import sys
+from collections import deque
+
+EXIT_CLEAN = 0
+EXIT_FINDINGS = 1
+EXIT_USAGE = 2
+EXIT_NO_LIBCLANG = 3
+
+ANNOT_NOALLOC = "deepum::noalloc"
+ANNOT_ALLOC_OK = "deepum::alloc_ok:"
+ANNOT_VIEW = "deepum::view"
+ANNOT_INVALIDATES = "deepum::invalidates_views"
+
+CHECKS = ("noalloc", "view-escape", "unordered-iter", "ptr-key", "strong-id")
+
+# --- allocation classification for std:: boundaries ---------------------
+
+CONTAINERS = {
+    "vector", "basic_string", "deque", "list", "forward_list",
+    "map", "multimap", "set", "multiset",
+    "unordered_map", "unordered_multimap", "unordered_set",
+    "unordered_multiset", "queue", "priority_queue", "stack",
+    "function", "basic_stringstream", "basic_ostringstream",
+    "basic_istringstream", "valarray",
+}
+
+ALLOC_METHODS = {
+    "push_back", "emplace_back", "emplace", "emplace_hint",
+    "emplace_front", "push_front", "push", "insert",
+    "insert_or_assign", "try_emplace", "resize", "reserve", "assign",
+    "append", "operator+=", "shrink_to_fit", "allocate", "str",
+}
+
+# operator[] allocates only on the node-inserting maps.
+BRACKET_ALLOCATES = {"map", "unordered_map"}
+
+ALLOC_FREE_FUNCS = {
+    "make_unique", "make_shared", "allocate_shared", "to_string",
+    "operator new", "operator new[]", "malloc", "calloc", "realloc",
+    "strdup", "getenv_string",
+}
+
+# Terminating cold paths: the walk prunes at these by name (they are
+# [[noreturn]]; allocation while dying is irrelevant to steady state).
+PRUNE_NAMES = {
+    "panic", "fatal", "assertFailed", "abort", "exit", "_Exit",
+    "quick_exit", "terminate", "__assert_fail", "throwBadAlloc",
+}
+
+# --- strong-ID families -------------------------------------------------
+
+ID_FAMILIES = {
+    "ExecId": "ExecId",
+    "BlockId": "BlockId",
+    "PageId": "PageId",
+    "VAddr": "VAddr",
+    "Tick": "Tick",
+    "BlockIndex": "BlockIndex",
+}
+
+ARITH_OPS = {"+", "-", "*", "/", "%", "<<", ">>", "&", "|", "^", "="}
+
+
+def load_cindex(libclang_path=None):
+    """Import clang.cindex and force-load the native library.
+
+    Returns the module, or None when either the python binding or the
+    shared library is unavailable (callers exit EXIT_NO_LIBCLANG).
+    """
+    try:
+        from clang import cindex
+    except ImportError:
+        return None
+    try:
+        if libclang_path:
+            cindex.Config.set_library_file(libclang_path)
+        cindex.Index.create()
+    except Exception:  # LibclangError: no native libclang to load
+        return None
+    return cindex
+
+
+class Finding:
+    def __init__(self, check, file, line, message, notes=()):
+        self.check = check
+        self.file = file
+        self.line = line
+        self.message = message
+        self.notes = tuple(notes)
+
+    def key(self):
+        return (self.check, self.file, self.line, self.message)
+
+    def render(self):
+        out = ["%s:%d: [%s] %s" % (self.file, self.line, self.check,
+                                   self.message)]
+        for n in self.notes:
+            out.append("    %s" % n)
+        return "\n".join(out)
+
+
+class FuncInfo:
+    """One function in the cross-TU call graph, merged by USR."""
+
+    def __init__(self, usr, name, file, line):
+        self.usr = usr
+        self.name = name
+        self.file = file
+        self.line = line
+        self.annotations = set()
+        self.has_body = False
+        # (desc, file, line) allocation events inside the body.
+        self.alloc_sites = []
+        # (callee_usr, callee_name, file, line) resolvable call edges.
+        self.calls = []
+
+
+def strip_type(spelling):
+    s = spelling.strip()
+    for prefix in ("const ", "volatile "):
+        while s.startswith(prefix):
+            s = s[len(prefix):]
+    while s.endswith("&") or s.endswith("*"):
+        s = s[:-1].rstrip()
+    if s.endswith(" const"):
+        s = s[:-len(" const")].rstrip()
+    return s
+
+
+def family_of_spelling(spelling):
+    """ID family of a *sugared* type spelling, or None."""
+    s = strip_type(spelling)
+    base = s.rsplit("::", 1)[-1]
+    return ID_FAMILIES.get(base)
+
+
+class SourceCache:
+    def __init__(self):
+        self._lines = {}
+
+    def lines(self, path):
+        if path not in self._lines:
+            try:
+                with open(path, "r", errors="replace") as f:
+                    self._lines[path] = f.readlines()
+            except OSError:
+                self._lines[path] = []
+        return self._lines[path]
+
+    def line(self, path, lineno):
+        lines = self.lines(path)
+        if 1 <= lineno <= len(lines):
+            return lines[lineno - 1]
+        return ""
+
+    def text(self, path, start_off, end_off):
+        try:
+            with open(path, "r", errors="replace") as f:
+                return f.read()[start_off:end_off]
+        except OSError:
+            return ""
+
+
+PLACEMENT_NEW_RE = re.compile(r"^\s*(::\s*)?new\s*\(")
+
+
+class Analyzer:
+    def __init__(self, cindex, project_paths, checks=CHECKS,
+                 verbose=False):
+        self.ck = cindex
+        self.index = cindex.Index.create()
+        self.project_paths = [os.path.realpath(p) for p in project_paths]
+        self.checks = set(checks)
+        self.verbose = verbose
+        self.src = SourceCache()
+        self.functions = {}
+        self.view_types = set()       # qualified names of DEEPUM_VIEW types
+        self.findings = {}            # key -> Finding
+        self.parse_errors = []
+
+    # --- helpers --------------------------------------------------------
+
+    def in_project(self, path):
+        if path is None:
+            return False
+        rp = os.path.realpath(path)
+        return any(rp.startswith(root + os.sep) or rp == root
+                   for root in self.project_paths)
+
+    def cursor_file(self, cur):
+        f = cur.location.file
+        return f.name if f is not None else None
+
+    def annotations_of(self, cur):
+        out = set()
+        for ch in cur.get_children():
+            if ch.kind == self.ck.CursorKind.ANNOTATE_ATTR:
+                out.add(ch.spelling)
+        return out
+
+    @staticmethod
+    def has_alloc_ok(annotations):
+        return any(a.startswith(ANNOT_ALLOC_OK) for a in annotations)
+
+    def add_finding(self, finding):
+        self.findings.setdefault(finding.key(), finding)
+
+    def suppressed(self, finding):
+        """Inline sa-ok / det-ok comment on the line or the line above."""
+        tags = ["sa-ok(%s)" % finding.check]
+        if finding.check in ("unordered-iter", "ptr-key"):
+            tags.append("det-ok(%s)" % finding.check)
+        for ln in (finding.line, finding.line - 1):
+            text = self.src.line(finding.file, ln)
+            if any(t in text for t in tags):
+                return True
+        return False
+
+    # --- TU parsing -----------------------------------------------------
+
+    def parse(self, path, args):
+        try:
+            tu = self.index.parse(path, args=args)
+        except self.ck.TranslationUnitLoadError as e:
+            self.parse_errors.append("%s: %s" % (path, e))
+            return None
+        fatal = [d for d in tu.diagnostics if d.severity >= 4]
+        if fatal:
+            self.parse_errors.append(
+                "%s: %s" % (path, "; ".join(d.spelling for d in fatal)))
+        return tu
+
+    def run_tu(self, tu):
+        for cur in tu.cursor.get_children():
+            if not self.in_project(self.cursor_file(cur)):
+                continue
+            self.visit(cur)
+
+    # --- traversal ------------------------------------------------------
+
+    FUNC_KINDS = None  # filled lazily (needs self.ck)
+
+    def func_kinds(self):
+        K = self.ck.CursorKind
+        return (K.FUNCTION_DECL, K.CXX_METHOD, K.CONSTRUCTOR,
+                K.DESTRUCTOR, K.CONVERSION_FUNCTION, K.FUNCTION_TEMPLATE)
+
+    def class_kinds(self):
+        K = self.ck.CursorKind
+        return (K.CLASS_DECL, K.STRUCT_DECL, K.CLASS_TEMPLATE)
+
+    def visit(self, cur):
+        K = self.ck.CursorKind
+        if cur.kind in self.class_kinds():
+            if ANNOT_VIEW in self.annotations_of(cur):
+                self.view_types.add(cur.type.spelling or cur.spelling)
+        if cur.kind in self.func_kinds():
+            self.index_function(cur)
+            # Function bodies are handled inside index_function; the
+            # declaration checks below still apply to locals, so fall
+            # through only for non-function cursors.
+            for ch in cur.get_children():
+                if ch.kind in self.class_kinds() or \
+                        ch.kind in self.func_kinds():
+                    self.visit(ch)
+            return
+        if cur.kind == K.FIELD_DECL and "view-escape" in self.checks:
+            self.check_view_field(cur)
+        if cur.kind == K.VAR_DECL and "view-escape" in self.checks:
+            self.check_view_container_local(cur)
+        if cur.kind in (K.FIELD_DECL, K.VAR_DECL, K.TYPE_ALIAS_DECL,
+                        K.TYPEDEF_DECL) and "ptr-key" in self.checks:
+            self.check_ptr_key(cur)
+        for ch in cur.get_children():
+            self.visit(ch)
+
+    # --- function indexing (noalloc + per-body checks) ------------------
+
+    def index_function(self, cur):
+        usr = cur.get_usr()
+        if not usr:
+            return
+        file = self.cursor_file(cur) or "<unknown>"
+        fi = self.functions.get(usr)
+        if fi is None:
+            fi = FuncInfo(usr, cur.spelling, file, cur.location.line)
+            self.functions[usr] = fi
+        fi.annotations |= self.annotations_of(cur)
+        if not cur.is_definition():
+            return
+        if fi.has_body:
+            return  # already indexed from another TU
+        fi.has_body = True
+        fi.file, fi.line = file, cur.location.line
+        K = self.ck.CursorKind
+        for ch in cur.get_children():
+            self.walk_body(ch, fi)
+            if ch.kind == K.COMPOUND_STMT and \
+                    "view-escape" in self.checks:
+                self.check_view_lifetime(ch)
+
+    def walk_body(self, cur, fi):
+        K = self.ck.CursorKind
+        if cur.kind in self.func_kinds() or cur.kind in self.class_kinds():
+            # Local class / nested function template: index separately.
+            self.visit(cur)
+            return
+        file = self.cursor_file(cur)
+        line = cur.location.line
+        if cur.kind == K.CXX_NEW_EXPR:
+            if not self.is_placement_new(cur):
+                fi.alloc_sites.append(("new expression", file, line))
+        elif cur.kind == K.CXX_DELETE_EXPR:
+            fi.alloc_sites.append(("delete expression", file, line))
+        elif cur.kind == K.CALL_EXPR:
+            self.classify_call(cur, fi)
+        elif cur.kind == K.CXX_FOR_RANGE_STMT and \
+                "unordered-iter" in self.checks:
+            self.check_unordered_iter(cur)
+        elif cur.kind in (K.BINARY_OPERATOR,
+                          K.COMPOUND_ASSIGNMENT_OPERATOR) and \
+                "strong-id" in self.checks:
+            self.check_strong_id_binop(cur)
+        elif cur.kind == K.VAR_DECL:
+            if "strong-id" in self.checks:
+                self.check_strong_id_init(cur)
+            if "ptr-key" in self.checks:
+                self.check_ptr_key(cur)
+        for ch in cur.get_children():
+            self.walk_body(ch, fi)
+
+    def is_placement_new(self, cur):
+        file = self.cursor_file(cur)
+        if file is None:
+            return False
+        ext = cur.extent
+        text = self.src.text(file, ext.start.offset, ext.end.offset)
+        return bool(PLACEMENT_NEW_RE.match(text))
+
+    def classify_call(self, cur, fi):
+        ref = cur.referenced
+        if ref is None:
+            return  # unresolved/indirect: skipped (documented limit)
+        name = ref.spelling or ""
+        annots = self.annotations_of(ref)
+        if self.has_alloc_ok(annots):
+            return  # documented hatch: prune
+        if name in PRUNE_NAMES:
+            return  # terminating cold path
+        file = self.cursor_file(cur)
+        line = cur.location.line
+        ref_file = self.cursor_file(ref)
+        if self.in_project(ref_file):
+            usr = ref.get_usr()
+            if usr:
+                fi.calls.append((usr, name, file, line))
+                # Keep annotations visible even when only a decl was
+                # seen so roots without bodies still prune correctly.
+                target = self.functions.get(usr)
+                if target is None:
+                    target = FuncInfo(usr, name, ref_file,
+                                      ref.location.line)
+                    self.functions[usr] = target
+                target.annotations |= annots
+            return
+        # Out-of-project callee (std:: / libc): classify by name.
+        parent = ref.semantic_parent
+        parent_name = parent.spelling if parent is not None else ""
+        K = self.ck.CursorKind
+        if ref.kind == K.CONSTRUCTOR and parent_name in CONTAINERS:
+            if self.ctor_allocates(ref):
+                fi.alloc_sites.append(
+                    ("std::%s constructor may allocate" % parent_name,
+                     file, line))
+            return
+        if parent_name in CONTAINERS and name in ALLOC_METHODS:
+            fi.alloc_sites.append(
+                ("std::%s::%s may allocate" % (parent_name, name),
+                 file, line))
+            return
+        if parent_name in BRACKET_ALLOCATES and name == "operator[]":
+            fi.alloc_sites.append(
+                ("std::%s::operator[] inserts" % parent_name, file,
+                 line))
+            return
+        if name in ALLOC_FREE_FUNCS:
+            fi.alloc_sites.append(("%s allocates" % name, file, line))
+            return
+        # Anything else (std::sort, size(), begin(), ...) is a
+        # non-allocating boundary.
+
+    def ctor_allocates(self, ctor):
+        K = self.ck.CursorKind
+        params = [c for c in ctor.get_children()
+                  if c.kind == K.PARM_DECL]
+        if not params:
+            return False  # default ctor
+        if len(params) == 1 and "&&" in params[0].type.spelling:
+            return False  # move ctor
+        return True  # copy/content ctor: may allocate
+
+    # --- check 1: noalloc ----------------------------------------------
+
+    def run_noalloc(self):
+        if "noalloc" not in self.checks:
+            return
+        roots = [f for f in self.functions.values()
+                 if ANNOT_NOALLOC in f.annotations and f.has_body]
+        for root in sorted(roots, key=lambda f: (f.file, f.line)):
+            self.walk_noalloc_root(root)
+
+    def walk_noalloc_root(self, root):
+        seen = {root.usr}
+        # queue entries: (func, chain of names from root)
+        queue = deque([(root, (root.name,))])
+        reported = set()
+        while queue:
+            fi, chain = queue.popleft()
+            for desc, file, line in fi.alloc_sites:
+                site = (desc, file, line)
+                if site in reported:
+                    continue
+                reported.add(site)
+                notes = []
+                if len(chain) > 1:
+                    notes.append("via " + " -> ".join(chain))
+                notes.append("allocation at %s:%d" % (file, line))
+                self.add_finding(Finding(
+                    "noalloc", root.file, root.line,
+                    "DEEPUM_NOALLOC function '%s' reaches %s" %
+                    (root.name, desc), notes))
+            for usr, name, _file, _line in fi.calls:
+                if usr in seen:
+                    continue
+                seen.add(usr)
+                callee = self.functions.get(usr)
+                if callee is None:
+                    continue
+                if self.has_alloc_ok(callee.annotations):
+                    continue  # hatch seen on a later decl
+                if ANNOT_NOALLOC in callee.annotations and \
+                        callee is not root:
+                    continue  # verified as its own root
+                if not callee.has_body:
+                    continue  # out-of-graph: skipped (documented)
+                queue.append((callee, chain + (name,)))
+
+    # --- check 2: view-escape ------------------------------------------
+
+    def type_mentions_view(self, type_spelling):
+        for v in self.view_types:
+            if re.search(r"\b%s\b" % re.escape(v), type_spelling):
+                return v
+        return None
+
+    def check_view_field(self, cur):
+        if not self.view_types:
+            return
+        canon = cur.type.get_canonical().spelling
+        v = self.type_mentions_view(canon)
+        if v is None:
+            return
+        file = self.cursor_file(cur)
+        self.add_finding(Finding(
+            "view-escape", file, cur.location.line,
+            "view type '%s' stored in field '%s' (views must not "
+            "outlive the statement chain that created them)" %
+            (v, cur.spelling)))
+
+    def check_view_container_local(self, cur):
+        canon = strip_type(cur.type.get_canonical().spelling)
+        v = self.type_mentions_view(canon)
+        if v is None:
+            return False
+        if canon == v:
+            return False  # a plain local view: allowed
+        if "<" not in canon:
+            return False  # e.g. reference already stripped
+        file = self.cursor_file(cur)
+        self.add_finding(Finding(
+            "view-escape", file, cur.location.line,
+            "view type '%s' stored in container local '%s'" %
+            (v, cur.spelling)))
+        return True
+
+    def check_view_lifetime(self, body):
+        """Flag view locals used after an invalidating call."""
+        if not self.view_types:
+            return
+        K = self.ck.CursorKind
+        views = {}        # usr -> (name, offset, file, line)
+        invalidations = []  # (offset, name, file, line)
+        uses = []         # (usr, offset, file, line)
+
+        def scan(cur):
+            if cur.kind == K.VAR_DECL:
+                canon = strip_type(cur.type.get_canonical().spelling)
+                if not self.check_view_container_local(cur) and \
+                        canon in self.view_types:
+                    views[cur.get_usr()] = (
+                        cur.spelling, cur.extent.start.offset,
+                        self.cursor_file(cur), cur.location.line)
+            elif cur.kind == K.CALL_EXPR:
+                ref = cur.referenced
+                if ref is not None and \
+                        ANNOT_INVALIDATES in self.annotations_of(ref):
+                    invalidations.append(
+                        (cur.extent.start.offset, ref.spelling,
+                         self.cursor_file(cur), cur.location.line))
+            elif cur.kind == K.DECL_REF_EXPR:
+                ref = cur.referenced
+                if ref is not None and ref.kind == K.VAR_DECL:
+                    uses.append((ref.get_usr(),
+                                 cur.extent.start.offset,
+                                 self.cursor_file(cur),
+                                 cur.location.line))
+            for ch in cur.get_children():
+                scan(ch)
+
+        scan(body)
+        for usr, (name, decl_off, vfile, vline) in views.items():
+            for inv_off, inv_name, _f, inv_line in invalidations:
+                if inv_off <= decl_off:
+                    continue
+                late_uses = [u for u in uses
+                             if u[0] == usr and u[1] > inv_off]
+                if late_uses:
+                    self.add_finding(Finding(
+                        "view-escape", vfile, vline,
+                        "view '%s' held across invalidating call "
+                        "'%s()' (line %d) and used afterwards "
+                        "(line %d)" %
+                        (name, inv_name, inv_line, late_uses[0][3])))
+                    break
+
+    # --- check 3: unordered-iter ---------------------------------------
+
+    UNORDERED_RE = re.compile(
+        r"std::unordered_(map|set|multimap|multiset)<")
+
+    def check_unordered_iter(self, cur):
+        # The body is the last child; everything before it (range
+        # init, and — depending on the libclang build — the implicit
+        # __range/__begin/__end machinery) describes what is iterated.
+        # Iterator types canonicalize to std::__detail::..., so only a
+        # genuine unordered container in the range position matches.
+        kids = list(cur.get_children())
+        if len(kids) < 2:
+            return
+        hit = [None]
+
+        def scan(c):
+            if hit[0] is not None:
+                return
+            canon = strip_type(c.type.get_canonical().spelling)
+            if self.UNORDERED_RE.match(canon):
+                hit[0] = canon
+                return
+            for ch in c.get_children():
+                scan(ch)
+
+        for ch in kids[:-1]:
+            scan(ch)
+            if hit[0] is not None:
+                break
+        if hit[0] is None:
+            return
+        file = self.cursor_file(cur)
+        self.add_finding(Finding(
+            "unordered-iter", file, cur.location.line,
+            "range-for over %s: iteration order is "
+            "address-dependent" % hit[0].split("<", 1)[0]))
+
+    # --- check 4: ptr-key ----------------------------------------------
+
+    def check_ptr_key(self, cur):
+        ck = self.ck
+        t = cur.type.get_canonical()
+        if t.kind in (ck.TypeKind.LVALUEREFERENCE,
+                      ck.TypeKind.RVALUEREFERENCE):
+            t = t.get_pointee().get_canonical()
+        spelling = strip_type(t.spelling)
+        m = re.match(r"std::(unordered_)?(map|multimap|set|multiset)<",
+                     spelling)
+        if m is None:
+            return
+        n = t.get_num_template_arguments()
+        if n <= 0:
+            return
+        key = t.get_template_argument_type(0).get_canonical()
+        if key.kind != ck.TypeKind.POINTER:
+            return
+        file = self.cursor_file(cur)
+        if m.group(1):  # unordered: hashing addresses is enough
+            self.add_finding(Finding(
+                "ptr-key", file, cur.location.line,
+                "std::unordered_%s keyed by raw pointer '%s' hashes "
+                "addresses, which vary run to run" %
+                (m.group(2), key.spelling)))
+            return
+        comp_idx = 2 if m.group(2) in ("map", "multimap") else 1
+        if comp_idx >= n:
+            return
+        comp = t.get_template_argument_type(comp_idx)
+        if not comp.spelling.startswith("std::less"):
+            return  # custom comparator: ordering is value-defined
+        file = self.cursor_file(cur)
+        self.add_finding(Finding(
+            "ptr-key", file, cur.location.line,
+            "std::%s keyed by raw pointer '%s' with default std::less:"
+            " iteration order is address-dependent" %
+            (m.group(2), key.spelling)))
+
+    # --- check 5: strong-id --------------------------------------------
+
+    def expr_family(self, cur):
+        K = self.ck.CursorKind
+        while True:
+            if cur.kind in (K.CSTYLE_CAST_EXPR, K.CXX_STATIC_CAST_EXPR,
+                            K.CXX_FUNCTIONAL_CAST_EXPR,
+                            K.CXX_REINTERPRET_CAST_EXPR,
+                            K.CXX_CONST_CAST_EXPR):
+                # An explicit cast launders (or sets) the family.
+                return family_of_spelling(cur.type.spelling)
+            if cur.kind in (K.UNEXPOSED_EXPR, K.PAREN_EXPR):
+                kids = list(cur.get_children())
+                if len(kids) == 1:
+                    cur = kids[0]
+                    continue
+                return family_of_spelling(cur.type.spelling)
+            return family_of_spelling(cur.type.spelling)
+
+    def binop_opcode(self, cur):
+        # libclang 16 has no Cursor.binary_operator; recover the
+        # opcode from the first punctuation token after the LHS.
+        kids = list(cur.get_children())
+        if len(kids) != 2:
+            return None
+        left_end = kids[0].extent.end.offset
+        for tok in cur.get_tokens():
+            if tok.extent.start.offset >= left_end and \
+                    tok.kind == self.ck.TokenKind.PUNCTUATION:
+                return tok.spelling
+        return None
+
+    def check_strong_id_binop(self, cur):
+        kids = list(cur.get_children())
+        if len(kids) != 2:
+            return
+        K = self.ck.CursorKind
+        if cur.kind == K.COMPOUND_ASSIGNMENT_OPERATOR:
+            op = "<compound>"
+        else:
+            op = self.binop_opcode(cur)
+            if op is None or op not in ARITH_OPS:
+                return
+        lhs = self.expr_family(kids[0])
+        rhs = self.expr_family(kids[1])
+        if lhs is None or rhs is None or lhs == rhs:
+            return
+        file = self.cursor_file(cur)
+        self.add_finding(Finding(
+            "strong-id", file, cur.location.line,
+            "'%s' mixes ID families %s and %s without an explicit "
+            "cast" % (op, lhs, rhs)))
+
+    def check_strong_id_init(self, cur):
+        var_family = family_of_spelling(cur.type.spelling)
+        if var_family is None:
+            return
+        init = None
+        for ch in cur.get_children():
+            if ch.kind.is_expression():
+                init = ch
+        if init is None:
+            return
+        init_family = self.expr_family(init)
+        if init_family is None or init_family == var_family:
+            return
+        file = self.cursor_file(cur)
+        self.add_finding(Finding(
+            "strong-id", file, cur.location.line,
+            "'%s' declared as %s but initialized from %s without an "
+            "explicit cast" % (cur.spelling, var_family, init_family)))
+
+    # --- reporting ------------------------------------------------------
+
+    def finalize(self, allowlist):
+        out = []
+        for finding in self.findings.values():
+            if self.suppressed(finding):
+                continue
+            if allowlist.matches(finding, self.src):
+                continue
+            out.append(finding)
+        out.sort(key=lambda f: (f.file, f.line, f.check, f.message))
+        return out
+
+
+class Allowlist:
+    def __init__(self, entries):
+        self.entries = entries  # (check, path_suffix, substring)
+
+    @classmethod
+    def load(cls, path):
+        entries = []
+        if path:
+            with open(path) as f:
+                for raw in f:
+                    line = raw.split("#", 1)[0].strip()
+                    if not line:
+                        continue
+                    parts = line.split(None, 2)
+                    if len(parts) < 2:
+                        raise ValueError(
+                            "allowlist line needs at least "
+                            "'<check> <path-suffix>': %r" % raw)
+                    check, suffix = parts[0], parts[1]
+                    sub = parts[2] if len(parts) == 3 else "*"
+                    entries.append((check, suffix, sub))
+        return cls(entries)
+
+    def matches(self, finding, src):
+        for check, suffix, sub in self.entries:
+            if check != finding.check and check != "*":
+                continue
+            if not finding.file.endswith(suffix):
+                continue
+            if sub == "*" or sub in src.line(finding.file, finding.line):
+                return True
+        return False
+
+
+def compile_commands(build_dir):
+    path = os.path.join(build_dir, "compile_commands.json")
+    if not os.path.isfile(path):
+        return None
+    with open(path) as f:
+        return json.load(f)
+
+
+def args_from_command(entry):
+    """Extract clang-digestible arguments from a compile command."""
+    if "arguments" in entry:
+        argv = list(entry["arguments"])
+    else:
+        argv = shlex.split(entry["command"])
+    out = []
+    skip_next = False
+    src = entry["file"]
+    for i, a in enumerate(argv):
+        if i == 0:
+            continue  # the compiler binary
+        if skip_next:
+            skip_next = False
+            continue
+        if a in ("-o", "-c"):
+            skip_next = a == "-o"
+            continue
+        if os.path.basename(a) == os.path.basename(src) and \
+                a.endswith((".cc", ".cpp", ".cxx")):
+            continue
+        out.append(a)
+    # Parsing gcc-configured commands with clang: silence diagnostics
+    # that differ between the two frontends.
+    out.append("-Wno-everything")
+    return out
+
+
+def analyze(cindex, tus, project_paths, checks, allowlist,
+            verbose=False):
+    """tus: iterable of (path, args). Returns (findings, analyzer)."""
+    an = Analyzer(cindex, project_paths, checks, verbose)
+    parsed = 0
+    for path, args in tus:
+        tu = an.parse(path, args)
+        if tu is None:
+            continue
+        parsed += 1
+        if verbose:
+            print("parsed %s" % path, file=sys.stderr)
+        an.run_tu(tu)
+    an.run_noalloc()
+    return an.finalize(allowlist), an, parsed
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="AST-accurate semantic lint for DeepUM "
+                    "(see tools/analyzer/README.md)")
+    ap.add_argument("paths", nargs="*", default=None,
+                    help="source roots to analyze (default: src)")
+    ap.add_argument("-p", "--build", default=None,
+                    help="build tree holding compile_commands.json "
+                         "(default: build-analyze, then build)")
+    ap.add_argument("--allowlist", default=None,
+                    help="allowlist file (check path-suffix substring)")
+    ap.add_argument("--checks", default=",".join(CHECKS),
+                    help="comma-separated checks to run")
+    ap.add_argument("--libclang", default=os.environ.get(
+        "DEEPUM_LIBCLANG"), help="explicit libclang shared library")
+    ap.add_argument("-v", "--verbose", action="store_true")
+    opts = ap.parse_args(argv)
+
+    checks = [c.strip() for c in opts.checks.split(",") if c.strip()]
+    bad = [c for c in checks if c not in CHECKS]
+    if bad:
+        print("deepum-analyzer: unknown checks: %s (have: %s)" %
+              (", ".join(bad), ", ".join(CHECKS)), file=sys.stderr)
+        return EXIT_USAGE
+
+    cindex = load_cindex(opts.libclang)
+    if cindex is None:
+        print("deepum-analyzer: libclang unavailable, skipped "
+              "(pip install -r tools/requirements.txt)",
+              file=sys.stderr)
+        return EXIT_NO_LIBCLANG
+
+    paths = opts.paths or ["src"]
+    roots = [os.path.realpath(p) for p in paths]
+    for r in roots:
+        if not os.path.isdir(r):
+            print("deepum-analyzer: no such source root: %s" % r,
+                  file=sys.stderr)
+            return EXIT_USAGE
+
+    build_candidates = [opts.build] if opts.build else \
+        ["build-analyze", "build"]
+    db = None
+    build_dir = None
+    for cand in build_candidates:
+        if cand is None:
+            continue
+        db = compile_commands(cand)
+        if db is not None:
+            build_dir = cand
+            break
+    if db is None:
+        print("deepum-analyzer: no compile_commands.json under %s — "
+              "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON "
+              "(tools/analyzer/run.sh does this for you)" %
+              ", ".join(c for c in build_candidates if c),
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    try:
+        allowlist = Allowlist.load(opts.allowlist)
+    except (OSError, ValueError) as e:
+        print("deepum-analyzer: %s" % e, file=sys.stderr)
+        return EXIT_USAGE
+
+    tus = []
+    seen = set()
+    for entry in db:
+        src = entry["file"]
+        if not os.path.isabs(src):
+            src = os.path.join(entry.get("directory", "."), src)
+        src = os.path.realpath(src)
+        if src in seen or not src.endswith((".cc", ".cpp", ".cxx")):
+            continue
+        if not any(src.startswith(r + os.sep) for r in roots):
+            continue
+        seen.add(src)
+        tus.append((src, args_from_command(entry)))
+    if not tus:
+        print("deepum-analyzer: compile_commands.json in %s holds no "
+              "TUs under %s" % (build_dir, ", ".join(roots)),
+              file=sys.stderr)
+        return EXIT_USAGE
+
+    findings, an, parsed = analyze(cindex, tus, roots, checks,
+                                   allowlist, opts.verbose)
+    for e in an.parse_errors:
+        print("deepum-analyzer: parse error: %s" % e, file=sys.stderr)
+    for f in findings:
+        print(f.render())
+    noalloc_roots = sum(
+        1 for fn in an.functions.values()
+        if ANNOT_NOALLOC in fn.annotations and fn.has_body)
+    print("deepum-analyzer: %d TUs, %d functions indexed, %d noalloc "
+          "roots, %d view types, %d finding(s)" %
+          (parsed, len(an.functions), noalloc_roots,
+           len(an.view_types), len(findings)), file=sys.stderr)
+    if an.parse_errors:
+        return EXIT_USAGE
+    return EXIT_FINDINGS if findings else EXIT_CLEAN
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+// deepum-analyzer fixture: DEEPUM_NOALLOC call graphs the analyzer
+// must prove clean — in-place std algorithms, the pushAmortized
+// hatch, a local DEEPUM_ALLOC_OK hatch, placement new, and a
+// [[noreturn]] terminator pruned by name.
+// EXPECT: noalloc 0
+
+#include <algorithm>
+#include <new>
+#include <vector>
+
+#include "support/annotations.hh"
+
+namespace fx {
+
+[[noreturn]] void panic(const char *msg);
+
+DEEPUM_ALLOC_OK("fixture hatch: cold-path growth")
+void
+coldGrow(std::vector<int> &v)
+{
+    v.push_back(1);
+}
+
+int
+square(int x)
+{
+    return x * x;
+}
+
+DEEPUM_NOALLOC int
+hotClean(std::vector<int> &v)
+{
+    if (v.empty())
+        panic("empty"); // terminating cold path: pruned
+    std::sort(v.begin(), v.end()); // in-place boundary call
+    deepum::support::pushAmortized(v, 7); // documented hatch
+    coldGrow(v); // DEEPUM_ALLOC_OK hatch
+    alignas(int) static unsigned char buf[sizeof(int)];
+    int *p = ::new (static_cast<void *>(buf)) int(3); // placement new
+    return square(*p) + v.back();
+}
+
+} // namespace fx

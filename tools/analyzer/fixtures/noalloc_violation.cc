@@ -1,0 +1,41 @@
+// deepum-analyzer fixture: DEEPUM_NOALLOC call graphs that DO
+// allocate — directly, transitively through a helper (both the new
+// and the delete count), and through an allocating std::basic_string
+// method.
+// EXPECT: noalloc 4
+
+#include <string>
+#include <vector>
+
+#include "support/annotations.hh"
+
+namespace fx {
+
+int *
+makeNode()
+{
+    return new int(42); // reached transitively from hotTransitive
+}
+
+DEEPUM_NOALLOC void
+hotDirect(std::vector<int> &v, int x)
+{
+    v.push_back(x); // allocating container method, no hatch
+}
+
+DEEPUM_NOALLOC int
+hotTransitive()
+{
+    int *p = makeNode(); // helper reaches operator new
+    int r = *p;
+    delete p;
+    return r;
+}
+
+DEEPUM_NOALLOC void
+hotString(std::string &s)
+{
+    s.append("abc"); // basic_string::append may reallocate
+}
+
+} // namespace fx

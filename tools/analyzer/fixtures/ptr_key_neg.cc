@@ -1,0 +1,35 @@
+// deepum-analyzer fixture: pointer-adjacent containers the ptr-key
+// check must stay quiet on — value keys, a custom value-ordered
+// comparator, unordered containers (not this check's concern), and
+// a det-ok-suppressed true positive.
+// EXPECT: ptr-key 0
+
+#include <map>
+#include <set>
+#include <string>
+#include <unordered_map>
+
+namespace fx {
+
+struct Node {
+    int v;
+    unsigned long addr;
+};
+
+struct ByAddr {
+    bool
+    operator()(const Node *a, const Node *b) const
+    {
+        return a->addr < b->addr; // value-ordered: deterministic
+    }
+};
+
+std::map<int, int> byInt;               // value key: fine
+std::set<const Node *, ByAddr> pool;    // custom comparator: fine
+std::map<std::string, int> byName;      // value key: fine
+std::unordered_map<int, Node *> byVal;  // pointer values: fine
+
+// det-ok(ptr-key): fixture proves the legacy suppression carries over
+std::set<int *> suppressed;
+
+} // namespace fx

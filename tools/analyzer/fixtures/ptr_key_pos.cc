@@ -1,0 +1,34 @@
+// deepum-analyzer fixture: containers keyed by raw pointers —
+// ordered ones with the default std::less iterate in allocation-
+// address order, unordered ones hash addresses. Includes an alias
+// the retired regex rule was blind to.
+// EXPECT: ptr-key 5
+
+#include <map>
+#include <set>
+#include <unordered_map>
+
+namespace fx {
+
+struct Node {
+    int v;
+};
+
+std::map<Node *, int> registry; // finding: global
+
+std::unordered_map<Node *, int> lookup; // finding: hashed addresses
+
+using PtrSet = std::set<const Node *>; // finding: alias declaration
+
+struct Owner {
+    std::set<char *> names; // finding: field
+};
+
+int
+count()
+{
+    PtrSet live; // finding: alias resolved canonically
+    return static_cast<int>(live.size());
+}
+
+} // namespace fx

@@ -1,0 +1,56 @@
+// deepum-analyzer fixture: ID-typed code the strong-id check must
+// stay quiet on — same-family arithmetic, literals, comparisons,
+// explicit cast laundering, and an sa-ok-suppressed true positive.
+// EXPECT: strong-id 0
+
+#include <cstdint>
+
+namespace fx {
+
+using ExecId = std::uint32_t;
+using BlockId = std::uint64_t;
+using Tick = std::uint64_t;
+
+BlockId
+next(BlockId b)
+{
+    return b + 1; // family + plain literal: fine
+}
+
+Tick
+elapsed(Tick a, Tick b)
+{
+    return a - b; // same family: fine
+}
+
+bool
+due(Tick now, Tick when)
+{
+    return now >= when; // comparisons are never flagged
+}
+
+BlockId
+fromExec(ExecId e)
+{
+    return BlockId(e); // explicit functional cast: fine
+}
+
+Tick
+laundered(BlockId b)
+{
+    return static_cast<Tick>(b); // explicit static_cast: fine
+}
+
+std::uint64_t
+widened(ExecId e, BlockId b)
+{
+    return std::uint64_t(e) + b; // cast launders the left family
+}
+
+std::uint64_t
+audited(ExecId e, BlockId b)
+{
+    return e + b; // sa-ok(strong-id): fixture proves suppression
+}
+
+} // namespace fx

@@ -1,0 +1,34 @@
+// deepum-analyzer fixture: raw arithmetic, initialization, and
+// compound assignment mixing distinct ID families without casts.
+// The aliases mirror the real families in mem/addr.hh and
+// sim/types.hh (matching is by sugared type name).
+// EXPECT: strong-id 3
+
+#include <cstdint>
+
+namespace fx {
+
+using ExecId = std::uint32_t;
+using BlockId = std::uint64_t;
+using Tick = std::uint64_t;
+
+std::uint64_t
+mixAdd(ExecId e, BlockId b)
+{
+    return e + b; // finding: ExecId + BlockId
+}
+
+Tick
+mixInit(BlockId b)
+{
+    Tick deadline = b; // finding: Tick initialized from BlockId
+    return deadline;
+}
+
+void
+mixCompound(Tick &t, BlockId b)
+{
+    t += b; // finding: Tick += BlockId
+}
+
+} // namespace fx

@@ -1,0 +1,39 @@
+// deepum-analyzer fixture: iteration the unordered-iter check must
+// stay quiet on — ordered/sequence containers (plain and aliased)
+// and suppressed unordered iteration in both the legacy det-ok and
+// the new sa-ok spellings.
+// EXPECT: unordered-iter 0
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace fx {
+
+using Rows = std::vector<int>;
+
+int
+fine(const Rows &rows, const std::vector<int> &v)
+{
+    int n = 0;
+    for (int r : rows)
+        n += r;
+    for (int x : v)
+        n += x;
+    return n;
+}
+
+std::uint64_t
+audited(const std::unordered_map<int, std::uint64_t> &m)
+{
+    std::uint64_t sum = 0;
+    // det-ok(unordered-iter): order-insensitive reduction (legacy)
+    for (const auto &kv : m)
+        sum += kv.second;
+    // sa-ok(unordered-iter): order-insensitive reduction
+    for (const auto &kv : m)
+        sum += kv.second;
+    return sum;
+}
+
+} // namespace fx

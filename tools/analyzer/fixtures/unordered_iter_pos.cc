@@ -1,0 +1,32 @@
+// deepum-analyzer fixture: range-for over unordered containers —
+// directly, and through a type alias the retired regex rule
+// (which keyed on the declaration spelling) was blind to.
+// EXPECT: unordered-iter 2
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace fx {
+
+using Index = std::unordered_map<std::uint64_t, int>; // regex-blind
+
+int
+direct(const std::unordered_set<int> &s)
+{
+    int n = 0;
+    for (int v : s) // finding
+        n += v;
+    return n;
+}
+
+int
+aliased(const Index &m)
+{
+    int n = 0;
+    for (const auto &kv : m) // finding: alias resolved canonically
+        n += kv.second;
+    return n;
+}
+
+} // namespace fx

@@ -1,0 +1,56 @@
+// deepum-analyzer fixture: idiomatic DEEPUM_VIEW use the check must
+// stay quiet on — pass-by-value parameters, return values, use
+// before invalidation, re-acquisition after, and one sa-ok
+// suppression proving the escape hatch works.
+// EXPECT: view-escape 0
+
+#include "support/annotations.hh"
+
+namespace fx {
+
+class DEEPUM_VIEW View
+{
+  public:
+    View(const int *d, unsigned n) : data_(d), size_(n) {}
+    const int *data_;
+    unsigned size_;
+};
+
+class Table
+{
+  public:
+    View view() const { return View{data_, size_}; }
+    DEEPUM_INVALIDATES_VIEWS void mutate() { ++size_; }
+
+  private:
+    const int *data_ = nullptr;
+    unsigned size_ = 0;
+};
+
+unsigned
+sum(View v) // view parameter: fine
+{
+    return v.size_;
+}
+
+View
+make(const Table &t) // view return value: fine
+{
+    return t.view();
+}
+
+unsigned
+ok(Table &t)
+{
+    View v = t.view();
+    unsigned n = sum(v); // consumed before any invalidation
+    t.mutate();
+    View w = t.view(); // re-acquired after the mutation
+    return n + w.size_;
+}
+
+struct Cache {
+    View held{nullptr, 0}; // sa-ok(view-escape): fixture proves suppression
+};
+
+} // namespace fx

@@ -1,0 +1,31 @@
+// deepum-analyzer fixture: DEEPUM_VIEW objects stored beyond their
+// statement chain — in a class field and in a container local.
+// EXPECT: view-escape 2
+
+#include <vector>
+
+#include "support/annotations.hh"
+
+namespace fx {
+
+class DEEPUM_VIEW View
+{
+  public:
+    View(const int *d, unsigned n) : data_(d), size_(n) {}
+    const int *data_;
+    unsigned size_;
+};
+
+struct Holder {
+    View view{nullptr, 0}; // field of view type: finding
+};
+
+unsigned
+collect()
+{
+    std::vector<View> views; // container of views: finding
+    views.push_back(View{nullptr, 0});
+    return static_cast<unsigned>(views.size());
+}
+
+} // namespace fx

@@ -1,0 +1,44 @@
+// deepum-analyzer fixture: a DEEPUM_VIEW local held across a
+// DEEPUM_INVALIDATES_VIEWS call and used afterwards.
+// EXPECT: view-escape 1
+
+#include "support/annotations.hh"
+
+namespace fx {
+
+class DEEPUM_VIEW View
+{
+  public:
+    View(const int *d, unsigned n) : data_(d), size_(n) {}
+    const int *data_;
+    unsigned size_;
+};
+
+class Table
+{
+  public:
+    View view() const { return View{data_, size_}; }
+    DEEPUM_INVALIDATES_VIEWS void mutate() { ++size_; }
+
+  private:
+    const int *data_ = nullptr;
+    unsigned size_ = 0;
+};
+
+unsigned
+bad(Table &t)
+{
+    View v = t.view();
+    t.mutate();     // invalidates outstanding views
+    return v.size_; // stale use: finding
+}
+
+unsigned
+good(Table &t)
+{
+    t.mutate();
+    View v = t.view(); // re-acquired after the mutation: fine
+    return v.size_;
+}
+
+} // namespace fx

@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Convenience wrapper for deepum-analyzer.
+#
+# Ensures a compile-commands tree exists (configuring build-analyze/
+# on first use), then runs the analyzer over src/ with the repo
+# allowlist. Degrades gracefully when the python libclang binding is
+# not installed: prints a clear skip message and exits 3 so callers
+# can tell "skipped" from "clean" (0) and "findings" (1).
+#
+# Usage: tools/analyzer/run.sh [extra deepum_analyzer.py args]
+# Env:   DEEPUM_ANALYZE_BUILD  build tree to (re)use
+#        DEEPUM_LIBCLANG       explicit libclang shared library
+
+set -u
+
+root="$(cd "$(dirname "$0")/../.." && pwd)"
+build="${DEEPUM_ANALYZE_BUILD:-$root/build-analyze}"
+
+if ! python3 -c 'import clang.cindex' 2>/dev/null; then
+    echo "deepum-analyzer: libclang unavailable, skipped" >&2
+    echo "  (python3 -m pip install -r tools/requirements.txt)" >&2
+    exit 3
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "deepum-analyzer: configuring $build for compile commands" >&2
+    cmake -B "$build" -S "$root" -DCMAKE_BUILD_TYPE=Debug \
+        -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null || exit 2
+fi
+
+exec python3 "$root/tools/analyzer/deepum_analyzer.py" \
+    -p "$build" \
+    --allowlist "$root/tools/analyzer/analyzer_allowlist.txt" \
+    "$@" \
+    "$root/src"

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Fixture self-test for deepum-analyzer.
+
+Parses every fixture under tools/analyzer/fixtures/ with libclang and
+checks that the analyzer produces exactly the findings each fixture
+declares in `// EXPECT: <check> <count>` header lines (checks not
+mentioned expect 0). This proves two things before the analyzer is
+trusted over the real tree: every check *fires* on a seeded violation,
+and every check *stays quiet* on the idiomatic clean pattern —
+including the suppression syntaxes.
+
+Exit codes: 0 all fixtures pass, 1 mismatch, 2 setup error,
+3 libclang unavailable (skipped).
+"""
+
+import os
+import re
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+REPO = os.path.dirname(os.path.dirname(HERE))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+sys.path.insert(0, HERE)
+import deepum_analyzer as da  # noqa: E402
+
+EXPECT_RE = re.compile(r"//\s*EXPECT:\s*([a-z-]+)\s+(\d+)")
+
+PARSE_ARGS = ["-xc++", "-std=c++17", "-I", os.path.join(REPO, "src"),
+              "-Wno-everything"]
+
+
+def expectations(path):
+    out = {}
+    with open(path) as f:
+        for line in f:
+            m = EXPECT_RE.search(line)
+            if m:
+                out[m.group(1)] = int(m.group(2))
+    return out
+
+
+def main():
+    cindex = da.load_cindex(os.environ.get("DEEPUM_LIBCLANG"))
+    if cindex is None:
+        print("selftest: libclang unavailable, skipped "
+              "(pip install -r tools/requirements.txt)",
+              file=sys.stderr)
+        return da.EXIT_NO_LIBCLANG
+
+    fixtures = sorted(
+        os.path.join(FIXTURES, f) for f in os.listdir(FIXTURES)
+        if f.endswith(".cc"))
+    if not fixtures:
+        print("selftest: no fixtures found under %s" % FIXTURES,
+              file=sys.stderr)
+        return 2
+
+    failures = 0
+    fired = {c: False for c in da.CHECKS}
+    for path in fixtures:
+        want = expectations(path)
+        unknown = [c for c in want if c not in da.CHECKS]
+        if unknown:
+            print("FAIL %s: unknown EXPECT checks %s" %
+                  (os.path.basename(path), unknown))
+            failures += 1
+            continue
+        # Each fixture is analyzed in isolation: the fixture file is
+        # the project root so src/ headers stay boundary code.
+        findings, an, parsed = da.analyze(
+            cindex, [(path, PARSE_ARGS)], [path],
+            da.CHECKS, da.Allowlist([]))
+        if parsed != 1 or an.parse_errors:
+            print("FAIL %s: parse errors: %s" %
+                  (os.path.basename(path), an.parse_errors))
+            failures += 1
+            continue
+        got = {c: 0 for c in da.CHECKS}
+        for f in findings:
+            got[f.check] += 1
+        ok = True
+        for check in da.CHECKS:
+            w = want.get(check, 0)
+            if got[check] != w:
+                print("FAIL %s: %s expected %d finding(s), got %d" %
+                      (os.path.basename(path), check, w, got[check]))
+                for f in findings:
+                    if f.check == check:
+                        print("    " + f.render().replace("\n", "\n    "))
+                ok = False
+            if got[check] and got[check] == w:
+                fired[check] = True
+        if ok:
+            print("PASS %s (%s)" % (
+                os.path.basename(path),
+                ", ".join("%s=%d" % (c, n) for c, n in sorted(
+                    want.items())) or "all quiet"))
+        else:
+            failures += 1
+
+    silent = [c for c, hit in fired.items() if not hit]
+    if silent:
+        print("FAIL: no fixture exercised a positive finding for: %s" %
+              ", ".join(silent))
+        failures += 1
+
+    if failures:
+        print("selftest: %d failure(s) across %d fixture(s)" %
+              (failures, len(fixtures)))
+        return 1
+    print("selftest: %d fixtures pass; every check fired and stayed "
+          "quiet" % len(fixtures))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

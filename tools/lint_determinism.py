@@ -6,18 +6,10 @@ The simulator's contract is bit-identical output for identical inputs
 silently break it, plus the two cast families that hide undefined
 behaviour:
 
-  unordered-iter    range-for over a std::unordered_map/unordered_set
-                    (iteration order is hash-seed/ABI dependent; any
-                    output, stats, or trace derived from it diverges
-                    between runs or toolchains)
   nondet-source     std::random_device, rand()/srand(), or wall-clock
                     reads outside sim/rng.hh (all randomness must flow
                     through the seeded RNG; all time through the DES
                     clock)
-  ptr-key           ordered containers keyed by pointer without a
-                    custom comparator, and unordered containers keyed
-                    by pointer (allocation addresses vary run to run,
-                    so iteration order does too)
   const-cast        const_cast<...> (UB when the object is const)
   reinterpret-cast  reinterpret_cast<...> (type punning hazard)
   stat-name         Scalar/Distribution registrations whose name does
@@ -26,15 +18,14 @@ behaviour:
                     names keep StatSet::dumpJson diffs and the
                     compare_stats.py tolerance patterns meaningful)
 
-Deterministic-by-construction iteration needs no suppression and is
-the preferred fix for an unordered-iter finding: the uvm::BlockStore
-patterns — walking intrusive prev/next slab indices (the LRU), dense
-index-keyed arrays, or the sorted run table (forEachBlock's BlockId
-order) — depend only on the operation history, never on hash seeds or
-allocation addresses, so the lint deliberately does not flag them.
-The driver's former unordered_map/list bookkeeping carried three
-det-ok(unordered-iter) suppressions; its BlockStore replacement
-carries none.
+The historical `unordered-iter` and `ptr-key` regex rules were
+retired in favour of their AST-accurate replacements in
+tools/analyzer/ (deepum-analyzer), which resolve canonical types
+behind typedefs and `auto` instead of pattern-matching declaration
+spellings. The rules kept here are the ones regexes handle well:
+token-level hazards that need no type information, so they still run
+without a clang toolchain. Legacy `det-ok(unordered-iter)` /
+`det-ok(ptr-key)` comments remain honored by the analyzer.
 
 Suppressions, in decreasing preference:
   * a `det-ok(<rule>): <reason>` comment on the flagged line or the
@@ -55,9 +46,7 @@ import sys
 from pathlib import Path
 
 RULES = (
-    "unordered-iter",
     "nondet-source",
-    "ptr-key",
     "const-cast",
     "reinterpret-cast",
     "stat-name",
@@ -89,11 +78,6 @@ STAT_REG_RE = re.compile(r"\(\s*stats_?\s*,\s*\"")
 
 STAT_NAME_RE = re.compile(
     r"^[a-z][A-Za-z0-9]*(\.[a-z][A-Za-z0-9]*)+$")
-
-RANGE_FOR_RE = re.compile(r"\bfor\s*\(([^;()]*?):([^;]*?)\)", re.S)
-
-IDENT_RE = re.compile(r"[A-Za-z_]\w*")
-
 
 class Finding:
     def __init__(self, path: Path, line: int, rule: str, msg: str,
@@ -161,130 +145,11 @@ def line_of(text: str, offset: int) -> int:
     return text.count("\n", 0, offset) + 1
 
 
-def matching_angle(text: str, open_idx: int) -> int:
-    """Index of the `>` closing the `<` at open_idx, or -1."""
-    depth = 0
-    i = open_idx
-    n = len(text)
-    while i < n:
-        c = text[i]
-        if c == "<":
-            depth += 1
-        elif c == ">":
-            depth -= 1
-            if depth == 0:
-                return i
-        elif c in ";{}":
-            return -1
-        i += 1
-    return -1
-
-
-UNORDERED_DECL_RE = re.compile(r"\bunordered_(?:map|set|multimap|multiset)\s*<")
-
-
-def unordered_declared_names(text: str) -> set[str]:
-    """Identifiers declared with an unordered container type."""
-    names: set[str] = set()
-    for m in UNORDERED_DECL_RE.finditer(text):
-        open_idx = text.index("<", m.end() - 1)
-        close = matching_angle(text, open_idx)
-        if close < 0:
-            continue
-        after = text[close + 1:close + 200]
-        dm = re.match(r"\s*&?\s*([A-Za-z_]\w*)\s*(?:[;{=,)]|$)", after)
-        if dm:
-            names.add(dm.group(1))
-    return names
-
-
-def split_template_args(args: str) -> list[str]:
-    parts: list[str] = []
-    depth = 0
-    cur = []
-    for c in args:
-        if c == "<" or c == "(":
-            depth += 1
-        elif c == ">" or c == ")":
-            depth -= 1
-        if c == "," and depth == 0:
-            parts.append("".join(cur).strip())
-            cur = []
-        else:
-            cur.append(c)
-    tail = "".join(cur).strip()
-    if tail:
-        parts.append(tail)
-    return parts
-
-
-ORDERED_DECL_RE = re.compile(r"\bstd\s*::\s*(map|set|multimap|multiset)\s*<")
-
-
-def check_ptr_keys(path: Path, text: str, findings: list[Finding],
-                   raw_lines: list[str]) -> None:
-    for m in ORDERED_DECL_RE.finditer(text):
-        kind = m.group(1)
-        open_idx = text.index("<", m.end() - 1)
-        close = matching_angle(text, open_idx)
-        if close < 0:
-            continue
-        args = split_template_args(text[open_idx + 1:close])
-        if not args or not args[0].rstrip().endswith("*"):
-            continue
-        # A custom comparator makes pointer keys deterministic iff it
-        # orders by something stable; give it the benefit of the
-        # doubt (the allocator's size+address comparator is audited).
-        expected = 2 if kind in ("map", "multimap") else 1
-        if len(args) > expected:
-            continue
-        ln = line_of(text, m.start())
-        findings.append(Finding(
-            path, ln, "ptr-key",
-            f"std::{kind} keyed by pointer with the default "
-            "comparator iterates in address order, which varies "
-            "run to run", raw_lines[ln - 1]))
-    for m in UNORDERED_DECL_RE.finditer(text):
-        open_idx = text.index("<", m.end() - 1)
-        close = matching_angle(text, open_idx)
-        if close < 0:
-            continue
-        args = split_template_args(text[open_idx + 1:close])
-        if not args or not args[0].rstrip().endswith("*"):
-            continue
-        ln = line_of(text, m.start())
-        findings.append(Finding(
-            path, ln, "ptr-key",
-            "unordered container keyed by pointer hashes addresses, "
-            "which vary run to run", raw_lines[ln - 1]))
-
-
-def check_file(path: Path, decl_extra: str | None) -> list[Finding]:
+def check_file(path: Path) -> list[Finding]:
     raw = path.read_text(encoding="utf-8", errors="replace")
     raw_lines = raw.split("\n")
     text = strip_comments_and_strings(raw)
     findings: list[Finding] = []
-
-    # Names declared as unordered containers in this TU: the file
-    # itself plus its same-stem header (members used from the .cc).
-    decl_text = text
-    if decl_extra is not None:
-        decl_text = text + "\n" + decl_extra
-    unordered_names = unordered_declared_names(decl_text)
-
-    # unordered-iter: range-for whose range expression names one.
-    for m in RANGE_FOR_RE.finditer(text):
-        range_expr = m.group(2)
-        hits = [t for t in IDENT_RE.findall(range_expr)
-                if t in unordered_names]
-        if not hits:
-            continue
-        ln = line_of(text, m.start())
-        findings.append(Finding(
-            path, ln, "unordered-iter",
-            f"iteration over unordered container '{hits[0]}' has "
-            "hash-dependent order; sort first or switch containers",
-            raw_lines[ln - 1]))
 
     # nondet-source.
     posix = path.as_posix()
@@ -296,8 +161,6 @@ def check_file(path: Path, decl_extra: str | None) -> list[Finding]:
                     path, ln, "nondet-source",
                     f"{what}: randomness must come from sim/rng.hh, "
                     "time from the event queue", raw_lines[ln - 1]))
-
-    check_ptr_keys(path, text, findings, raw_lines)
 
     # stat-name: registrations must use dotted lowercase-first names.
     for m in STAT_REG_RE.finditer(text):
@@ -390,16 +253,7 @@ def main() -> int:
 
     all_findings: list[Finding] = []
     for f in files:
-        decl_extra = None
-        if f.suffix in (".cc", ".cpp", ".cxx"):
-            for hs in (".hh", ".hpp", ".h"):
-                header = f.with_suffix(hs)
-                if header.exists():
-                    decl_extra = strip_comments_and_strings(
-                        header.read_text(encoding="utf-8",
-                                         errors="replace"))
-                    break
-        all_findings.extend(check_file(f, decl_extra))
+        all_findings.extend(check_file(f))
 
     remaining = [f for f in all_findings if not allowlisted(f, entries)]
     for f in remaining:
