@@ -39,6 +39,13 @@
  *   fault_path [--kernels N] [--blocks N] [--gpu-blocks N]
  *              [--corr-kernels N] [--micro-ops N] [--json file]
  *              [--stats-json file] [--corr-stats-json file]
+ *              [--service-threads N] [--sm-batch N]
+ *
+ * --service-threads shards fault-batch servicing across N host
+ * threads (uvm::FaultShardPool); the stats dumps are byte-identical
+ * at any value, which CI checks by diffing the --stats-json output
+ * across thread counts. --sm-batch raises the modelled SM fault-batch
+ * ceiling so batches get big enough for the shards to matter.
  */
 
 #include <chrono>
@@ -88,6 +95,9 @@ struct EndToEnd {
     std::uint64_t evictedBlocks = 0;
     std::uint64_t kernels = 0;
     sim::Tick simTicks = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t eventsNear = 0;
+    std::uint64_t eventsOverflow = 0;
     double wallSec = 0;
     double faultsPerSec = 0;
 };
@@ -101,16 +111,19 @@ struct EndToEnd {
  */
 EndToEnd
 runEndToEnd(std::uint64_t kernels, std::uint64_t totalBlocks,
-            std::uint64_t gpuBlocks, const std::string &statsJson)
+            std::uint64_t gpuBlocks, const std::string &statsJson,
+            unsigned serviceThreads, unsigned smBatch)
 {
     sim::EventQueue eq;
     sim::StatSet stats;
     gpu::TimingConfig cfg;
+    cfg.smBatch = smBatch;
     gpu::FaultBuffer fb;
     gpu::PcieLink link{cfg};
     mem::FramePool frames{gpuBlocks * mem::kPagesPerBlock};
     gpu::GpuEngine engine{eq, cfg, fb, stats};
     uvm::Driver drv{eq, cfg, fb, link, frames, stats};
+    drv.setServiceThreads(serviceThreads);
     engine.setBackend(&drv);
     drv.setEngine(&engine);
 
@@ -146,6 +159,9 @@ runEndToEnd(std::uint64_t kernels, std::uint64_t totalBlocks,
     r.evictedBlocks = stats.get("uvm.evictedBlocks");
     r.kernels = kernels;
     r.simTicks = eq.now();
+    r.eventsExecuted = eq.executed();
+    r.eventsNear = eq.nearScheduled();
+    r.eventsOverflow = eq.overflowScheduled();
     r.faultsPerSec = r.wallSec > 0
                          ? static_cast<double>(r.pageFaults) / r.wallSec
                          : 0.0;
@@ -169,6 +185,9 @@ struct CorrHeavy {
     std::uint64_t chainsStarted = 0;
     std::uint64_t kernels = 0;
     sim::Tick simTicks = 0;
+    std::uint64_t eventsExecuted = 0;
+    std::uint64_t eventsNear = 0;
+    std::uint64_t eventsOverflow = 0;
     double wallSec = 0;
     double faultsPerSec = 0;
 };
@@ -185,16 +204,19 @@ struct CorrHeavy {
  */
 CorrHeavy
 runCorrHeavy(std::uint64_t kernels, std::uint64_t totalBlocks,
-             std::uint64_t gpuBlocks, const std::string &statsJson)
+             std::uint64_t gpuBlocks, const std::string &statsJson,
+             unsigned serviceThreads, unsigned smBatch)
 {
     sim::EventQueue eq;
     sim::StatSet stats;
     gpu::TimingConfig cfg;
+    cfg.smBatch = smBatch;
     gpu::FaultBuffer fb;
     gpu::PcieLink link{cfg};
     mem::FramePool frames{gpuBlocks * mem::kPagesPerBlock};
     gpu::GpuEngine engine{eq, cfg, fb, stats};
     uvm::Driver drv{eq, cfg, fb, link, frames, stats};
+    drv.setServiceThreads(serviceThreads);
     engine.setBackend(&drv);
     drv.setEngine(&engine);
     core::DeepUmConfig dcfg;
@@ -243,6 +265,12 @@ runCorrHeavy(std::uint64_t kernels, std::uint64_t totalBlocks,
     r.chainsStarted = stats.get("prefetcher.chainsStarted");
     r.kernels = kernels;
     r.simTicks = eq.now();
+    r.eventsExecuted = eq.executed();
+    r.eventsNear = eq.nearScheduled();
+    r.eventsOverflow = eq.overflowScheduled();
+    r.eventsExecuted = eq.executed();
+    r.eventsNear = eq.nearScheduled();
+    r.eventsOverflow = eq.overflowScheduled();
     r.faultsPerSec = r.wallSec > 0
                          ? static_cast<double>(r.pageFaults) / r.wallSec
                          : 0.0;
@@ -403,6 +431,8 @@ main(int argc, char **argv)
     std::uint64_t totalBlocks = 1024;
     std::uint64_t gpuBlocks = 256;
     std::uint64_t microOps = 20'000'000;
+    unsigned serviceThreads = 1;
+    unsigned smBatch = 0; // 0 = the TimingConfig default
     std::string json, statsJson, corrStatsJson;
 
     for (int i = 1; i < argc; ++i) {
@@ -417,6 +447,15 @@ main(int argc, char **argv)
             gpuBlocks = std::strtoull(argv[++i], nullptr, 10);
         } else if (a == "--micro-ops" && i + 1 < argc) {
             microOps = std::strtoull(argv[++i], nullptr, 10);
+        } else if (a == "--service-threads" && i + 1 < argc) {
+            serviceThreads = static_cast<unsigned>(
+                std::strtoull(argv[++i], nullptr, 10));
+            if (serviceThreads == 0)
+                serviceThreads = std::max(
+                    1u, std::thread::hardware_concurrency());
+        } else if (a == "--sm-batch" && i + 1 < argc) {
+            smBatch = static_cast<unsigned>(
+                std::strtoull(argv[++i], nullptr, 10));
         } else if (a == "--json" && i + 1 < argc) {
             json = argv[++i];
         } else if (a == "--stats-json" && i + 1 < argc) {
@@ -428,11 +467,14 @@ main(int argc, char **argv)
                 stderr,
                 "usage: fault_path [--kernels N] [--blocks N] "
                 "[--gpu-blocks N] [--corr-kernels N] [--micro-ops N] "
+                "[--service-threads N] [--sm-batch N] "
                 "[--json file] [--stats-json file] "
                 "[--corr-stats-json file]\n");
             return 2;
         }
     }
+    if (smBatch == 0)
+        smBatch = gpu::TimingConfig{}.smBatch;
     if (gpuBlocks >= totalBlocks) {
         std::fprintf(stderr,
                      "error: --gpu-blocks must be < --blocks (no "
@@ -444,8 +486,10 @@ main(int argc, char **argv)
 
     banner("fault-path throughput (full Figure-3 pipeline)");
     EndToEnd e = runEndToEnd(kernels, totalBlocks, gpuBlocks,
-                             statsJson);
+                             statsJson, serviceThreads, smBatch);
     std::printf("host cores           %u\n", cores);
+    std::printf("service threads      %u\n", serviceThreads);
+    std::printf("sm batch             %u\n", smBatch);
     std::printf("kernels              %llu\n",
                 static_cast<unsigned long long>(e.kernels));
     std::printf("page faults          %llu\n",
@@ -459,7 +503,7 @@ main(int argc, char **argv)
     if (corrKernels > 0) {
         banner("correlation-heavy fault path (DeepUM attached)");
         c = runCorrHeavy(corrKernels, totalBlocks, gpuBlocks,
-                         corrStatsJson);
+                         corrStatsJson, serviceThreads, smBatch);
         std::printf("kernels              %llu\n",
                     static_cast<unsigned long long>(c.kernels));
         std::printf("page faults          %llu\n",
@@ -472,6 +516,18 @@ main(int argc, char **argv)
                     static_cast<unsigned long long>(c.chainsStarted));
         std::printf("wall time            %.3f s\n", c.wallSec);
         std::printf("faults/sec           %.3e\n", c.faultsPerSec);
+        double nearFrac =
+            c.eventsNear + c.eventsOverflow > 0
+                ? static_cast<double>(c.eventsNear) /
+                      static_cast<double>(c.eventsNear +
+                                          c.eventsOverflow)
+                : 0.0;
+        std::printf("events executed      %llu\n",
+                    static_cast<unsigned long long>(c.eventsExecuted));
+        std::printf("calendar near/ovfl   %llu / %llu (%.4f near)\n",
+                    static_cast<unsigned long long>(c.eventsNear),
+                    static_cast<unsigned long long>(c.eventsOverflow),
+                    nearFrac);
     }
 
 #ifdef FAULT_PATH_HAVE_BLOCK_STORE
@@ -498,6 +554,8 @@ main(int argc, char **argv)
         }
         os << "{\n"
            << "  \"host_cores\": " << cores << ",\n"
+           << "  \"service_threads\": " << serviceThreads << ",\n"
+           << "  \"sm_batch\": " << smBatch << ",\n"
            << "  \"kernels\": " << e.kernels << ",\n"
            << "  \"total_blocks\": " << totalBlocks << ",\n"
            << "  \"gpu_blocks\": " << gpuBlocks << ",\n"
@@ -514,6 +572,9 @@ main(int argc, char **argv)
                << ", \"chain_blocks_issued\": " << c.blocksIssued
                << ", \"chains_started\": " << c.chainsStarted
                << ", \"sim_ticks\": " << c.simTicks
+               << ", \"events_executed\": " << c.eventsExecuted
+               << ", \"events_near\": " << c.eventsNear
+               << ", \"events_overflow\": " << c.eventsOverflow
                << ", \"wall_sec\": " << c.wallSec
                << ", \"faults_per_sec\": " << c.faultsPerSec << "}";
         }

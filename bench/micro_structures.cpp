@@ -13,6 +13,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <list>
@@ -25,8 +26,10 @@
 #include "sim/event_queue.hh"
 #include "sim/inline_fn.hh"
 #include "sim/rng.hh"
+#include "sim/shard_workers.hh"
 #include "sim/spsc_queue.hh"
 #include "uvm/block_store.hh"
+#include "uvm/driver.hh"
 
 using namespace deepum;
 using namespace deepum::core;
@@ -99,12 +102,19 @@ BM_CorrelationRecord(benchmark::State &state)
     for (mem::BlockId b = 0; b < kBlocks; ++b)
         t.record(b, (b + 1) % kBlocks);
     mem::BlockId b = 0;
+    const std::uint64_t replBefore = t.replacements();
     for (auto _ : state) {
         t.record(b, (b + 1) % kBlocks);
         benchmark::DoNotOptimize(t.successors(b));
         b = (b + 1) % kBlocks;
     }
     state.SetItemsProcessed(state.iterations());
+    // Set-conflict rate: LRU way replacements per record. ~0 when
+    // rows*assoc holds the 2048-block ring, ~1 when it cannot — the
+    // mechanism behind /4096 beating /128 (see EXPERIMENTS.md).
+    state.counters["conflicts_per_record"] = benchmark::Counter(
+        static_cast<double>(t.replacements() - replBefore) /
+        static_cast<double>(state.iterations()));
 }
 BENCHMARK(BM_CorrelationRecord)->Arg(128)->Arg(2048)->Arg(4096);
 
@@ -342,5 +352,106 @@ BM_ListMapLruRequeue(benchmark::State &state)
     state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_ListMapLruRequeue);
+
+// --------------------------------------------------------------------
+// Fault-servicing queues and shard dispatch (PR 10)
+// --------------------------------------------------------------------
+
+/**
+ * Burst-drain of the driver's demand-fault queue: handleFaults
+ * pushes one MigrateCmd per deduped block, migrationStep pops them
+ * one PCIe transfer at a time. Arg = burst size (blocks per fault
+ * batch); the pop side re-probes the BlockStore and flips the
+ * queuedFault flag, as migrationStep does.
+ */
+void
+BM_FaultQueueDrain(benchmark::State &state)
+{
+    const std::uint64_t burst = static_cast<std::uint64_t>(state.range(0));
+    sim::SpscQueue<uvm::MigrateCmd> q(1024);
+    uvm::BlockStore store;
+    constexpr mem::BlockId kB0 = mem::blockOf(mem::kUmBase);
+    store.registerRun(kB0, kB0 + 512);
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < burst; ++i) {
+            store.at(store.find(kB0 + i)).queuedFault = true;
+            q.push(uvm::MigrateCmd{kB0 + i, 0, 0});
+        }
+        uvm::MigrateCmd cmd;
+        while (q.pop(cmd)) {
+            auto &bi = store.at(store.find(cmd.block));
+            bi.queuedFault = false;
+            benchmark::DoNotOptimize(bi.pages);
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_FaultQueueDrain)->Arg(8)->Arg(64)->Arg(256);
+
+/**
+ * The prefetch queue's drain differs from the fault queue's: each
+ * pop carries the predicted consumer and chain depth, and the
+ * consumer check (still-pending execution?) runs before any
+ * transfer is issued. Modeled here as a depth-tagged pop plus a
+ * branch on the flag, the shape of Driver::migrationStep's
+ * prefetch arm.
+ */
+void
+BM_PrefetchQueueDrain(benchmark::State &state)
+{
+    const std::uint64_t burst = static_cast<std::uint64_t>(state.range(0));
+    sim::SpscQueue<uvm::MigrateCmd> q(1024);
+    uvm::BlockStore store;
+    constexpr mem::BlockId kB0 = mem::blockOf(mem::kUmBase);
+    store.registerRun(kB0, kB0 + 512);
+    std::uint64_t stale = 0;
+    for (auto _ : state) {
+        for (std::uint64_t i = 0; i < burst; ++i)
+            q.push(uvm::MigrateCmd{
+                kB0 + i, static_cast<std::uint32_t>(i & 7),
+                static_cast<std::uint32_t>(i & 3)});
+        uvm::MigrateCmd cmd;
+        while (q.pop(cmd)) {
+            auto &bi = store.at(store.find(cmd.block));
+            // A stale prefetch (block already resident) is dropped.
+            if (bi.queuedPrefetch || cmd.depth > 2)
+                ++stale;
+            benchmark::DoNotOptimize(bi.pages);
+        }
+    }
+    benchmark::DoNotOptimize(stale);
+    state.SetItemsProcessed(state.iterations() * burst);
+}
+BENCHMARK(BM_PrefetchQueueDrain)->Arg(8)->Arg(64)->Arg(256);
+
+struct ShardNopCtx {
+    std::atomic<std::uint64_t> sink{0};
+};
+
+void
+shardNopJob(void *ctx, unsigned shard, unsigned)
+{
+    static_cast<ShardNopCtx *>(ctx)->sink.fetch_add(
+        shard, std::memory_order_relaxed);
+}
+
+/**
+ * Pure fork/join dispatch cost of ShardWorkers::run with an empty
+ * job body — the fixed overhead a fault batch must amortize before
+ * sharded preprocessing wins. Arg = shard count; 1 is the inline
+ * (no-thread) path and is the baseline the kMinParallelEntries
+ * threshold is calibrated against.
+ */
+void
+BM_ShardWorkersRoundTrip(benchmark::State &state)
+{
+    sim::ShardWorkers team(static_cast<unsigned>(state.range(0)));
+    ShardNopCtx ctx;
+    for (auto _ : state)
+        team.run(&shardNopJob, &ctx);
+    benchmark::DoNotOptimize(ctx.sink.load());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ShardWorkersRoundTrip)->Arg(1)->Arg(2)->Arg(4);
 
 } // namespace

@@ -61,7 +61,8 @@ usage()
         "              [--ledger] [--report <file|->] "
         "[--thrash-window N]\n"
         "              [--timeseries <file>] [--sample-interval N]\n"
-        "              [--batches N,N,...] [--jobs N]\n"
+        "              [--batches N,N,...] [--jobs N] "
+        "[--service-threads N]\n"
         "\n"
         "  --trace <file>       write a Chrome/Perfetto trace of the "
         "run\n"
@@ -79,7 +80,11 @@ usage()
         "  --batches N,N,...    sweep several batch sizes, one row "
         "each\n"
         "  --jobs N             threads for the sweep (0 = one per "
-        "core)\n");
+        "core)\n"
+        "  --service-threads N  shards for fault-batch servicing "
+        "(0 = one\n"
+        "                       per core; stats are byte-identical "
+        "at any N)\n");
     std::exit(2);
 }
 
@@ -175,6 +180,12 @@ main(int argc, char **argv)
             jobs = static_cast<unsigned>(numArg(argc, argv, i));
             if (jobs == 0)
                 jobs = std::max(
+                    1u, std::thread::hardware_concurrency());
+        } else if (a == "--service-threads") {
+            cfg.serviceThreads =
+                static_cast<unsigned>(numArg(argc, argv, i));
+            if (cfg.serviceThreads == 0)
+                cfg.serviceThreads = std::max(
                     1u, std::thread::hardware_concurrency());
         } else if (a == "--system") {
             system = strArg(argc, argv, i);

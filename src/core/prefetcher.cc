@@ -242,7 +242,10 @@ Prefetcher::enterKernelTable(std::size_t slot)
     // Issue every live entry of the kernel's table, not only the
     // start component: blocks covered by prefetching stop faulting
     // and would otherwise fall out of the chain (see freshTags()).
-    bt->freshTags(cfg_.freshEpochWindow, freshScratch_);
+    // The full-slab scan is the dominant per-activation cost, so it
+    // borrows the driver's shard pool (serial when 1 shard).
+    bt->freshTags(cfg_.freshEpochWindow, freshScratch_,
+                  drv_.shardPool());
     for (mem::BlockId t : freshScratch_) {
         if (!markSeen(t))
             continue;

@@ -76,10 +76,12 @@ EventQueue::schedule(Tick when, EventFn fn)
               static_cast<unsigned long long>(curTick_));
     const std::uint64_t bn = bucketNum(when);
     if (bn >= winStart_ + kBuckets) {
+        ++overflowScheduled_;
         overflow_.push_back(Entry{when, nextSeq_++, std::move(fn)});
         std::push_heap(overflow_.begin(), overflow_.end(), later);
         return;
     }
+    ++nearScheduled_;
     const std::size_t slot = slotOf(bn);
     std::vector<Entry> &v = buckets_[slot];
     if (bn == winStart_ && curSorted_ && !v.empty()) {
@@ -264,6 +266,8 @@ EventQueue::clear()
     curTick_ = 0;
     nextSeq_ = 0;
     executed_ = 0;
+    nearScheduled_ = 0;
+    overflowScheduled_ = 0;
 }
 
 } // namespace deepum::sim

@@ -72,6 +72,18 @@ class EventQueue
     /** Total number of events executed so far. */
     std::uint64_t executed() const { return executed_; }
 
+    /** Events scheduled into the near-future bucket ring so far. */
+    std::uint64_t nearScheduled() const { return nearScheduled_; }
+
+    /**
+     * Events scheduled past the ring horizon (the overflow heap) so
+     * far. With nearScheduled() this gives the calendar's event-mix
+     * profile: the near fraction is the share of schedules that take
+     * the O(1) bucket path instead of the O(log n) heap path, the
+     * figure the two-tier design bets on (see EXPERIMENTS.md).
+     */
+    std::uint64_t overflowScheduled() const { return overflowScheduled_; }
+
     /**
      * Run until the queue drains or @p limit events have executed.
      * @return the final simulated time.
@@ -184,6 +196,8 @@ class EventQueue
     Tick curTick_ = 0;
     std::uint64_t nextSeq_ = 0;
     std::uint64_t executed_ = 0;
+    std::uint64_t nearScheduled_ = 0;
+    std::uint64_t overflowScheduled_ = 0;
 };
 
 } // namespace deepum::sim

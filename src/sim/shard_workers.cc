@@ -1,0 +1,83 @@
+#include "sim/shard_workers.hh"
+
+#include "sim/logging.hh"
+
+namespace deepum::sim {
+
+void
+ShardWorkers::resize(unsigned n)
+{
+    if (n == 0)
+        n = 1;
+    if (n == nshards_ && threads_.size() == n - 1)
+        return;
+    joinAll();
+    nshards_ = n;
+    stop_.store(false, std::memory_order_relaxed);
+    const std::uint64_t gen0 =
+        generation_.load(std::memory_order_relaxed);
+    threads_.reserve(n - 1);
+    for (unsigned s = 1; s < n; ++s)
+        threads_.emplace_back([this, s, gen0] { workerLoop(s, gen0); });
+}
+
+void
+ShardWorkers::joinAll()
+{
+    if (threads_.empty())
+        return;
+    stop_.store(true, std::memory_order_release);
+    generation_.fetch_add(1, std::memory_order_release);
+    for (auto &t : threads_)
+        t.join();
+    threads_.clear();
+    done_.store(0, std::memory_order_relaxed);
+}
+
+void
+ShardWorkers::run(JobFn fn, void *ctx)
+{
+    DEEPUM_ASSERT(fn != nullptr, "null shard job");
+    if (nshards_ == 1) {
+        fn(ctx, 0, 1);
+        return;
+    }
+    fn_ = fn;
+    ctx_ = ctx;
+    done_.store(0, std::memory_order_relaxed);
+    generation_.fetch_add(1, std::memory_order_release);
+    fn(ctx, 0, nshards_);
+    // Join barrier: acquire pairs with each worker's release
+    // increment, so their shard-local writes are visible here.
+    unsigned spins = 0;
+    while (done_.load(std::memory_order_acquire) != nshards_ - 1) {
+        if (++spins >= kSpinsBeforeYield) {
+            spins = 0;
+            std::this_thread::yield();
+        }
+    }
+}
+
+void
+ShardWorkers::workerLoop(unsigned shard, std::uint64_t seen0)
+{
+    std::uint64_t seen = seen0;
+    for (;;) {
+        std::uint64_t g;
+        unsigned spins = 0;
+        while ((g = generation_.load(std::memory_order_acquire)) ==
+               seen) {
+            if (++spins >= kSpinsBeforeYield) {
+                spins = 0;
+                std::this_thread::yield();
+            }
+        }
+        seen = g;
+        if (stop_.load(std::memory_order_acquire))
+            return;
+        fn_(ctx_, shard, nshards_);
+        done_.fetch_add(1, std::memory_order_release);
+    }
+}
+
+} // namespace deepum::sim

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * A persistent shard-worker team for intra-simulation parallelism.
+ *
+ * ParallelRunner (harness/parallel.hh) parallelizes *across* runs:
+ * whole simulations that share nothing. ShardWorkers parallelizes
+ * *inside* one simulation step: the coordinator (the DES thread)
+ * dispatches one job to N shards, each worker executes the job body
+ * for its shard id, and run() returns only when every shard finished
+ * — a fork/join barrier around read-mostly or shard-local work such
+ * as the driver's fault-batch preprocessing (uvm/fault_shards.hh).
+ *
+ * Determinism contract: the team adds no ordering of its own. A job
+ * must partition its effects so shards touch disjoint state, and the
+ * coordinator must merge per-shard results in a canonical order;
+ * under that discipline results are byte-identical at any shard
+ * count, which CI pins against ci/golden_stats.json.
+ *
+ * The dispatch path is allocation-free by construction: a job is a
+ * raw function pointer plus a context pointer (no std::function
+ * boxing), published to the workers through one release-store on a
+ * generation counter. Workers spin briefly and then yield, so the
+ * team stays correct (if slower) on hosts with fewer cores than
+ * shards. One shard means no threads at all: run() calls the body
+ * inline and is exactly the serial loop.
+ */
+
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "support/annotations.hh"
+
+namespace deepum::sim {
+
+/** N-shard fork/join team; shard 0 runs on the calling thread. */
+class ShardWorkers
+{
+  public:
+    /**
+     * One job: called once per shard as fn(ctx, shard, nshards).
+     * A raw pointer pair keeps dispatch allocation-free.
+     */
+    using JobFn = void (*)(void *ctx, unsigned shard, unsigned nshards);
+
+    explicit ShardWorkers(unsigned nshards = 1) { resize(nshards); }
+    ~ShardWorkers() { joinAll(); }
+
+    ShardWorkers(const ShardWorkers &) = delete;
+    ShardWorkers &operator=(const ShardWorkers &) = delete;
+
+    /**
+     * Set the shard count (clamped to >= 1), joining the old team
+     * and spawning n-1 persistent workers. Setup-time only: never
+     * call between run()s on a hot path.
+     */
+    void resize(unsigned n);
+
+    /** Shards per job (calling thread included). */
+    unsigned count() const { return nshards_; }
+
+    /**
+     * Execute @p fn(ctx, shard, count()) on every shard and return
+     * when all shards finished. The caller runs shard 0 itself; with
+     * one shard this is a plain inline call. Writes a worker makes
+     * before returning from @p fn are visible to the coordinator
+     * after run() returns (release/acquire on the join counter), and
+     * writes the coordinator makes before run() are visible to every
+     * worker (release/acquire on the generation counter).
+     */
+    DEEPUM_NOALLOC void run(JobFn fn, void *ctx);
+
+  private:
+    /** Spins between yields while waiting (tuned for few-core hosts). */
+    static constexpr unsigned kSpinsBeforeYield = 256;
+
+    /**
+     * @p seen0 is the generation value captured by resize() *before*
+     * the thread spawned: loading it inside the worker instead would
+     * race a coordinator that publishes a job first, making the
+     * worker treat that job's generation as its baseline and sleep
+     * through it forever.
+     */
+    DEEPUM_NOALLOC void workerLoop(unsigned shard,
+                                   std::uint64_t seen0);
+
+    /** Stop and join every worker thread. */
+    void joinAll();
+
+    unsigned nshards_ = 1;
+    std::vector<std::thread> threads_;
+
+    // Job publication: fn_/ctx_ are written before the release bump
+    // of generation_, which workers acquire; done_ counts finished
+    // workers back to the coordinator.
+    JobFn fn_ = nullptr;
+    void *ctx_ = nullptr;
+    std::atomic<std::uint64_t> generation_{0};
+    std::atomic<unsigned> done_{0};
+    std::atomic<bool> stop_{false};
+};
+
+} // namespace deepum::sim

@@ -21,7 +21,8 @@ BlockStore::findSlow(mem::BlockId b) const
     --it;
     if (b >= it->end)
         return kNoBlockIndex;
-    hot_ = static_cast<std::size_t>(it - ranges_.begin());
+    hot_.store(static_cast<std::size_t>(it - ranges_.begin()),
+               std::memory_order_relaxed);
     return it->base + static_cast<BlockIndex>(b - it->first);
 }
 
@@ -30,7 +31,7 @@ BlockStore::rangeContaining(mem::BlockId b) const
 {
     if (find(b) == kNoBlockIndex)
         return nullptr;
-    return &ranges_[hot_];
+    return &ranges_[hot_.load(std::memory_order_relaxed)];
 }
 
 BlockIndex
@@ -99,8 +100,10 @@ BlockStore::registerRun(mem::BlockId first, mem::BlockId end)
     it = std::lower_bound(
         ranges_.begin(), ranges_.end(), first,
         [](const Range &r, mem::BlockId v) { return r.first < v; });
-    hot_ = static_cast<std::size_t>(
-        ranges_.insert(it, Range{first, end, base}) - ranges_.begin());
+    hot_.store(static_cast<std::size_t>(
+                   ranges_.insert(it, Range{first, end, base}) -
+                   ranges_.begin()),
+               std::memory_order_relaxed);
 
     for (BlockIndex i = 0; i < n; ++i) {
         slab_[base + i] = BlockInfo{};
@@ -134,8 +137,9 @@ BlockStore::unregisterRun(mem::BlockId first, mem::BlockId end)
         ids_[base + i] = kNoBlock;
     }
     ranges_.erase(ranges_.begin() +
-                  static_cast<std::ptrdiff_t>(hot_));
-    hot_ = 0;
+                  static_cast<std::ptrdiff_t>(
+                      hot_.load(std::memory_order_relaxed)));
+    hot_.store(0, std::memory_order_relaxed);
     freeSlots(base, n);
     size_ -= n;
 }

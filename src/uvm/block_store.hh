@@ -22,6 +22,7 @@
 
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <iosfwd>
 #include <vector>
@@ -55,7 +56,7 @@ class BlockStore
     {
         // One-entry cache: faults, migrations and walks hit the same
         // allocation repeatedly, making the common probe two compares.
-        std::size_t h = hot_;
+        std::size_t h = hot_.load(std::memory_order_relaxed);
         if (h < ranges_.size()) {
             const Range &r = ranges_[h];
             if (b >= r.first && b < r.end)
@@ -258,7 +259,13 @@ class BlockStore
     std::vector<mem::BlockId> ids_;  ///< slot -> block backref
     std::vector<FreeRun> freeRuns_;  ///< sorted by base, coalesced
     std::size_t size_ = 0;           ///< live blocks
-    mutable std::size_t hot_ = 0;    ///< last range hit (probe cache)
+    /**
+     * Last range hit (probe cache). A relaxed atomic because fault
+     * shards probe concurrently (FaultShardPool pass A); the hint
+     * value never affects a find() result, only which path computes
+     * it, so racy updates stay deterministic.
+     */
+    mutable std::atomic<std::size_t> hot_{0};
 
     BlockIndex lruHead_ = kNoBlockIndex;
     BlockIndex lruTail_ = kNoBlockIndex;
